@@ -1,0 +1,22 @@
+# Convenience targets; everything is plain dune underneath.
+
+.PHONY: all build test bench examples clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest --force --no-buffer
+
+bench:
+	dune exec bench/main.exe
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/planner_explain.exe
+	dune exec examples/smallbank_demo.exe
+
+clean:
+	dune clean

@@ -1,0 +1,75 @@
+(* Developer tool: run one protocol for N simulated seconds, printing
+   per-second commits, remaster/replica-add activity, aborts and
+   per-node worker load — the fastest way to watch a protocol converge.
+
+   Usage: dune exec bin/debug_run.exe -- [variant] [skew] [cross] [secs]
+   (REMASTER_DELAY=<us> overrides the remaster delay/cooldown.) *)
+
+module Config = Lion_store.Config
+module Cluster = Lion_store.Cluster
+module Placement = Lion_store.Placement
+module Engine = Lion_sim.Engine
+module Server = Lion_sim.Server
+module Metrics = Lion_sim.Metrics
+module Ycsb = Lion_workload.Ycsb
+module Proto = Lion_protocols.Proto
+
+let () =
+  let variant = try Sys.argv.(1) with _ -> "lion-rw" in
+  let skew = try float_of_string Sys.argv.(2) with _ -> 0.8 in
+  let cross = try float_of_string Sys.argv.(3) with _ -> 0.5 in
+  let secs = try int_of_string Sys.argv.(4) with _ -> 8 in
+  let cfg =
+    match Sys.getenv_opt "REMASTER_DELAY" with
+    | Some d ->
+        let d = float_of_string d in
+        { Config.default with Config.remaster_delay = d; remaster_cooldown = 10.0 *. d }
+    | None -> Config.default
+  in
+  let params =
+    { (Ycsb.default_params ~partitions:(Config.total_partitions cfg) ~nodes:cfg.Config.nodes)
+      with Ycsb.skew_factor = skew; cross_ratio = cross } in
+  let gen = Ycsb.create ~seed:7 params in
+  let cl = Cluster.create ~seed:1 cfg in
+  let mk = function
+    | "2pc" -> Lion_protocols.Twopc.create cl
+    | "leap" -> Lion_protocols.Leap.create cl
+    | "clay" -> Lion_protocols.Clay.create cl
+    | "star" -> Lion_protocols.Star.create cl
+    | "calvin" -> Lion_protocols.Calvin.create cl
+    | "hermes" -> Lion_protocols.Hermes.create cl
+    | "aria" -> Lion_protocols.Aria.create cl
+    | "lotus" -> Lion_protocols.Lotus.create cl
+    | "lion-r" -> Lion_core.Ablation.create Lion_core.Ablation.V_r cl
+    | "lion-s" -> Lion_core.Ablation.create Lion_core.Ablation.V_s cl
+    | "lion-rw" -> Lion_core.Ablation.create Lion_core.Ablation.V_rw cl
+    | "lion-rb" -> Lion_core.Ablation.create Lion_core.Ablation.V_rb cl
+    | "lion" -> Lion_core.Ablation.create Lion_core.Ablation.V_full cl
+    | v -> failwith ("unknown variant " ^ v)
+  in
+  let proto = mk variant in
+  let is_batch = List.mem variant ["star";"calvin";"hermes";"aria";"lotus";"lion-rb";"lion"] in
+  let clients = if is_batch then cfg.Config.batch_size else 64 in
+  let engine = cl.Cluster.engine in
+  let rec client_loop () =
+    let txn = Ycsb.next gen in
+    proto.Proto.submit txn ~on_done:(fun () -> Engine.schedule engine ~delay:0.0 client_loop)
+  in
+  for _ = 1 to clients do client_loop () done;
+  let last_commits = ref 0 and last_rem = ref 0 and last_adds = ref 0 and last_aborts = ref 0 in
+  let t_wall = Unix.gettimeofday () in
+  for sec = 1 to secs do
+    Engine.run_until engine (Engine.seconds (float_of_int sec));
+    proto.Proto.tick ();
+    let c = Metrics.commits cl.Cluster.metrics in
+    let r = cl.Cluster.remaster_count and a = cl.Cluster.replica_add_count in
+    let ab = Metrics.aborts cl.Cluster.metrics in
+    let loads = Array.map (fun s -> Server.busy_time s /. 1e6) cl.Cluster.workers in
+    Printf.printf "t=%ds commits/s=%d remasters=%d adds=%d aborts=%d single=%.2f loads=[%s]\n%!"
+      sec (c - !last_commits) (r - !last_rem) (a - !last_adds) (ab - !last_aborts)
+      (float_of_int (Metrics.single_node_commits cl.Cluster.metrics) /. float_of_int (max 1 c))
+      (String.concat " " (Array.to_list (Array.map (Printf.sprintf "%.1f") loads)));
+    last_commits := c; last_rem := r; last_adds := a; last_aborts := ab;
+    Array.iter Server.reset_counters cl.Cluster.workers
+  done;
+  Printf.printf "wall=%.1fs\n" (Unix.gettimeofday () -. t_wall)

@@ -1,0 +1,259 @@
+(* Command-line interface to the Lion reproduction.
+
+   Subcommands:
+     run        run one protocol on one workload, print a summary
+     experiment run a named paper experiment (fig6, fig7, ...)
+     list       list protocols and experiments *)
+
+open Cmdliner
+module Config = Lion_store.Config
+module Runner = Lion_harness.Runner
+module Workloads = Lion_harness.Workloads
+module Table = Lion_kernel.Table
+
+let protocols : (string * (bool * (Lion_store.Cluster.t -> Lion_protocols.Proto.t))) list =
+  [
+    ("2pc", (false, Lion_protocols.Twopc.create));
+    ("leap", (false, Lion_protocols.Leap.create));
+    ("clay", (false, fun cl -> Lion_protocols.Clay.create cl));
+    ("unified", (false, Lion_protocols.Unified.create));
+    ("star", (true, Lion_protocols.Star.create));
+    ("calvin", (true, Lion_protocols.Calvin.create));
+    ("hermes", (true, Lion_protocols.Hermes.create));
+    ("aria", (true, Lion_protocols.Aria.create));
+    ("lotus", (true, fun cl -> Lion_protocols.Lotus.create cl));
+    ("lion", (false, fun cl -> Lion_core.Standard.create ~name:"Lion" cl));
+    ("lion-batch", (true, fun cl -> Lion_core.Batch_mode.create ~name:"Lion" cl));
+  ]
+
+let protocol_conv =
+  let parse s =
+    match List.assoc_opt s protocols with
+    | Some _ -> Ok s
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown protocol %S (try: %s)" s
+               (String.concat ", " (List.map fst protocols))))
+  in
+  Arg.conv (parse, Format.pp_print_string)
+
+(* --- run --- *)
+
+let do_run protocol workload nodes skew cross duration warmup remaster_delay seed csv =
+  let cfg =
+    {
+      (Config.with_nodes Config.default nodes) with
+      Config.remaster_delay;
+      remaster_cooldown = 10.0 *. remaster_delay;
+    }
+  in
+  let batch, make = List.assoc protocol protocols in
+  let gen =
+    match workload with
+    | "ycsb" -> Workloads.ycsb ~seed:(seed + 1) ~skew ~cross cfg
+    | "tpcc" -> Workloads.tpcc ~seed:(seed + 1) ~skew ~cross cfg
+    | "dynamic" -> Workloads.dynamic_position ~seed:(seed + 1) ~period:8.0 cfg
+    | w -> failwith (Printf.sprintf "unknown workload %S (ycsb | tpcc | dynamic)" w)
+  in
+  let r =
+    Runner.run ~seed ~batch ~cfg ~make ~gen
+      { Runner.quick with Runner.warmup; duration }
+  in
+  let t =
+    Table.create
+      ~title:
+        (Printf.sprintf "%s on %s (nodes=%d skew=%.2f cross=%.2f)" protocol workload nodes
+           skew cross)
+      ~columns:[ "metric"; "value" ]
+  in
+  Table.add_row t [ "throughput (txn/s)"; Table.cell_float ~decimals:0 r.Runner.throughput ];
+  Table.add_row t [ "commits"; Table.cell_int r.Runner.commits ];
+  Table.add_row t [ "aborts"; Table.cell_int r.Runner.aborts ];
+  Table.add_row t [ "p50 latency (ms)"; Table.cell_float ~decimals:2 (r.Runner.p50 /. 1000.0) ];
+  Table.add_row t [ "p95 latency (ms)"; Table.cell_float ~decimals:2 (r.Runner.p95 /. 1000.0) ];
+  Table.add_row t
+    [ "single-node %"; Table.cell_float ~decimals:1 (100.0 *. r.Runner.single_node_ratio) ];
+  Table.add_row t [ "bytes/txn"; Table.cell_float ~decimals:0 r.Runner.bytes_per_txn ];
+  Table.add_row t [ "remasters"; Table.cell_int r.Runner.remasters ];
+  Table.add_row t [ "replica adds"; Table.cell_int r.Runner.replica_adds ];
+  Table.print t;
+  (match csv with
+  | Some path ->
+      Lion_harness.Export.result_csv ~path [ (protocol, r) ];
+      Printf.printf "summary written to %s\n" path
+  | None -> ());
+  0
+
+let run_cmd =
+  let protocol =
+    Arg.(value & opt protocol_conv "lion" & info [ "p"; "protocol" ] ~doc:"Protocol to run.")
+  in
+  let workload =
+    Arg.(value & opt string "ycsb" & info [ "w"; "workload" ] ~doc:"ycsb | tpcc | dynamic.")
+  in
+  let nodes = Arg.(value & opt int 4 & info [ "n"; "nodes" ] ~doc:"Executor node count.") in
+  let skew = Arg.(value & opt float 0.0 & info [ "skew" ] ~doc:"Skew factor (0..1).") in
+  let cross =
+    Arg.(value & opt float 0.5 & info [ "cross" ] ~doc:"Cross-partition transaction ratio.")
+  in
+  let duration =
+    Arg.(value & opt float 6.0 & info [ "duration" ] ~doc:"Measured simulated seconds.")
+  in
+  let warmup = Arg.(value & opt float 4.0 & info [ "warmup" ] ~doc:"Warm-up seconds.") in
+  let remaster =
+    Arg.(value & opt float 300.0 & info [ "remaster-delay" ] ~doc:"Remaster delay in us.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Simulation seed.") in
+  let csv =
+    Arg.(value & opt (some string) None & info [ "csv" ] ~doc:"Write a summary CSV.")
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run one protocol on one workload")
+    Term.(
+      const do_run $ protocol $ workload $ nodes $ skew $ cross $ duration $ warmup
+      $ remaster $ seed $ csv)
+
+(* --- experiment --- *)
+
+let do_experiment name scale =
+  match List.find_opt (fun (id, _, _) -> id = name) Lion_harness.Experiments.registry with
+  | Some (_, desc, f) ->
+      Printf.printf ">>> %s - %s\n%!" name desc;
+      f scale;
+      0
+  | None ->
+      Printf.eprintf "unknown experiment %S; available: %s\n" name
+        (String.concat ", "
+           (List.map (fun (id, _, _) -> id) Lion_harness.Experiments.registry));
+      1
+
+let experiment_cmd =
+  let exp_name = Arg.(required & pos 0 (some string) None & info [] ~docv:"ID") in
+  let scale =
+    Arg.(value & opt float 1.0 & info [ "scale" ] ~doc:"Duration scale factor.")
+  in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Run a named paper experiment (fig6 .. fig14, table1)")
+    Term.(const do_experiment $ exp_name $ scale)
+
+(* --- compare --- *)
+
+let do_compare names workload nodes skew cross duration warmup remaster_delay seed csv =
+  let cfg =
+    {
+      (Config.with_nodes Config.default nodes) with
+      Config.remaster_delay;
+      remaster_cooldown = 10.0 *. remaster_delay;
+    }
+  in
+  let selected =
+    match names with
+    | [] -> List.map fst protocols
+    | _ -> names
+  in
+  let results =
+    List.map
+      (fun name ->
+        match List.assoc_opt name protocols with
+        | None -> failwith (Printf.sprintf "unknown protocol %S" name)
+        | Some (batch, make) ->
+            let gen =
+              match workload with
+              | "ycsb" -> Workloads.ycsb ~seed:(seed + 1) ~skew ~cross cfg
+              | "tpcc" -> Workloads.tpcc ~seed:(seed + 1) ~skew ~cross cfg
+              | "dynamic" -> Workloads.dynamic_position ~seed:(seed + 1) ~period:8.0 cfg
+              | w -> failwith (Printf.sprintf "unknown workload %S" w)
+            in
+            ( name,
+              Runner.run ~seed ~batch ~cfg ~make ~gen
+                { Runner.quick with Runner.warmup; duration } ))
+      selected
+  in
+  let t =
+    Table.create
+      ~title:
+        (Printf.sprintf "%s (nodes=%d skew=%.2f cross=%.2f)" workload nodes skew cross)
+      ~columns:[ "protocol"; "k txn/s"; "p50 (ms)"; "p95 (ms)"; "single-node %"; "aborts" ]
+  in
+  List.iter
+    (fun (name, (r : Runner.result)) ->
+      Table.add_row t
+        [
+          name;
+          Table.cell_float ~decimals:1 (r.Runner.throughput /. 1000.0);
+          Table.cell_float ~decimals:2 (r.Runner.p50 /. 1000.0);
+          Table.cell_float ~decimals:2 (r.Runner.p95 /. 1000.0);
+          Table.cell_float ~decimals:1 (100.0 *. r.Runner.single_node_ratio);
+          Table.cell_int r.Runner.aborts;
+        ])
+    results;
+  Table.print t;
+  (match csv with
+  | Some path ->
+      Lion_harness.Export.result_csv ~path results;
+      Printf.printf "summary written to %s\n" path
+  | None -> ());
+  0
+
+let compare_cmd =
+  let names =
+    Arg.(value & pos_all string [] & info [] ~docv:"PROTOCOL" ~doc:"Protocols (default: all).")
+  in
+  let workload =
+    Arg.(value & opt string "ycsb" & info [ "w"; "workload" ] ~doc:"ycsb | tpcc | dynamic.")
+  in
+  let nodes = Arg.(value & opt int 4 & info [ "n"; "nodes" ] ~doc:"Executor node count.") in
+  let skew = Arg.(value & opt float 0.0 & info [ "skew" ] ~doc:"Skew factor (0..1).") in
+  let cross =
+    Arg.(value & opt float 0.5 & info [ "cross" ] ~doc:"Cross-partition transaction ratio.")
+  in
+  let duration =
+    Arg.(value & opt float 5.0 & info [ "duration" ] ~doc:"Measured simulated seconds.")
+  in
+  let warmup = Arg.(value & opt float 4.0 & info [ "warmup" ] ~doc:"Warm-up seconds.") in
+  let remaster =
+    Arg.(value & opt float 300.0 & info [ "remaster-delay" ] ~doc:"Remaster delay in us.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Simulation seed.") in
+  let csv =
+    Arg.(value & opt (some string) None & info [ "csv" ] ~doc:"Write a summary CSV.")
+  in
+  Cmd.v
+    (Cmd.info "compare" ~doc:"Run several protocols on one workload, side by side")
+    Term.(
+      const do_compare $ names $ workload $ nodes $ skew $ cross $ duration $ warmup
+      $ remaster $ seed $ csv)
+
+(* --- list --- *)
+
+let do_list () =
+  print_endline "protocols:";
+  List.iter (fun (name, (batch, _)) ->
+      Printf.printf "  %-10s %s\n" name (if batch then "(batch)" else "(standard)"))
+    protocols;
+  print_endline "experiments:";
+  List.iter
+    (fun (id, desc, _) -> Printf.printf "  %-8s %s\n" id desc)
+    Lion_harness.Experiments.registry;
+  0
+
+let list_cmd = Cmd.v (Cmd.info "list" ~doc:"List protocols and experiments") Term.(const do_list $ const ())
+
+let setup_logging () =
+  (* LION_LOG=debug|info|warning enables the library's structured logs
+     (lion.planner, lion.cluster). *)
+  match Sys.getenv_opt "LION_LOG" with
+  | None -> ()
+  | Some level ->
+      Logs.set_reporter (Logs_fmt.reporter ());
+      Logs.set_level
+        (match String.lowercase_ascii level with
+        | "debug" -> Some Logs.Debug
+        | "info" -> Some Logs.Info
+        | _ -> Some Logs.Warning)
+
+let () =
+  setup_logging ();
+  let doc = "Lion: adaptive replica provision on a simulated cluster" in
+  exit (Cmd.eval' (Cmd.group (Cmd.info "lion" ~doc) [ run_cmd; compare_cmd; experiment_cmd; list_cmd ]))

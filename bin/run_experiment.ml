@@ -1,0 +1,17 @@
+(* CLI: run one named experiment (or "all") at a given scale. *)
+let () =
+  let name = try Sys.argv.(1) with _ -> "all" in
+  let scale = try float_of_string Sys.argv.(2) with _ -> 1.0 in
+  if name = "all" then Lion_harness.Experiments.run_all ~scale ()
+  else
+    match
+      List.find_opt (fun (id, _, _) -> id = name) Lion_harness.Experiments.registry
+    with
+    | Some (_, desc, f) ->
+        Printf.printf ">>> %s — %s\n%!" name desc;
+        f scale
+    | None ->
+        Printf.eprintf "unknown experiment %s; available: %s\n" name
+          (String.concat ", "
+             (List.map (fun (id, _, _) -> id) Lion_harness.Experiments.registry));
+        exit 1

@@ -1,0 +1,47 @@
+(* Quickstart: build a 4-node cluster, run a skewed cross-partition YCSB
+   workload under plain 2PC and under Lion (standard execution), and
+   print the comparison — the library's smallest end-to-end use.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module Config = Lion_store.Config
+module Ycsb = Lion_workload.Ycsb
+module Table = Lion_kernel.Table
+module Runner = Lion_harness.Runner
+
+let () =
+  let cfg = Config.default in
+  let params =
+    {
+      (Ycsb.default_params ~partitions:(Config.total_partitions cfg) ~nodes:cfg.Config.nodes) with
+      Ycsb.skew_factor = 0.8;
+      cross_ratio = 0.5;
+    }
+  in
+  let run make =
+    let gen = Ycsb.create ~seed:7 params in
+    Runner.run ~seed:1 ~cfg ~make ~gen:(fun ~time:_ -> Ycsb.next gen) Runner.quick
+  in
+  Printf.printf "Running 2PC and Lion on skewed YCSB (50%% cross-partition)...\n%!";
+  let two_pc = run Lion_protocols.Twopc.create in
+  let lion = run (fun cl -> Lion_core.Standard.create ~name:"Lion" cl) in
+  let table =
+    Table.create ~title:"Quickstart: 2PC vs Lion (standard execution)"
+      ~columns:
+        [ "protocol"; "throughput (txn/s)"; "p50 latency (ms)"; "p95 (ms)"; "single-node %" ]
+  in
+  let row name (r : Runner.result) =
+    Table.add_row table
+      [
+        name;
+        Table.cell_float ~decimals:0 r.Runner.throughput;
+        Table.cell_float ~decimals:2 (r.Runner.p50 /. 1000.0);
+        Table.cell_float ~decimals:2 (r.Runner.p95 /. 1000.0);
+        Table.cell_float ~decimals:1 (100.0 *. r.Runner.single_node_ratio);
+      ]
+  in
+  row "2PC" two_pc;
+  row "Lion" lion;
+  Table.print table;
+  Printf.printf "Lion speedup over 2PC: %.2fx\n"
+    (lion.Runner.throughput /. Stdlib.max 1.0 two_pc.Runner.throughput)

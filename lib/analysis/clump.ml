@@ -1,0 +1,45 @@
+type t = { pids : int list; w : float; mutable dest : int }
+
+let generate ?(max_weight = infinity) graph ~placement ~alpha ~cross_boost =
+  let used = Hashtbl.create 64 in
+  let clumps = ref [] in
+  let expand seed =
+    let members = ref [] in
+    let weight = ref 0.0 in
+    let queue = Queue.create () in
+    Queue.push seed queue;
+    Hashtbl.replace used seed ();
+    weight := Heatgraph.vertex_weight graph seed;
+    while not (Queue.is_empty queue) do
+      let v = Queue.pop queue in
+      members := v :: !members;
+      List.iter
+        (fun u ->
+          if
+            (not (Hashtbl.mem used u))
+            && !weight +. Heatgraph.vertex_weight graph u <= max_weight
+          then (
+            let w =
+              Heatgraph.effective_edge_weight graph ~placement ~cross_boost v u
+            in
+            if w > alpha then (
+              Hashtbl.replace used u ();
+              weight := !weight +. Heatgraph.vertex_weight graph u;
+              Queue.push u queue)))
+        (Heatgraph.neighbors graph v)
+    done;
+    let pids = List.sort compare !members in
+    let w = List.fold_left (fun acc p -> acc +. Heatgraph.vertex_weight graph p) 0.0 pids in
+    { pids; w; dest = -1 }
+  in
+  List.iter
+    (fun v -> if not (Hashtbl.mem used v) then clumps := expand v :: !clumps)
+    (Heatgraph.hottest_first graph);
+  List.rev !clumps
+
+let total_weight clumps = List.fold_left (fun acc c -> acc +. c.w) 0.0 clumps
+
+let pp fmt c =
+  Format.fprintf fmt "clump{[%a] w=%.1f dest=%d}"
+    (Format.pp_print_list ~pp_sep:(fun f () -> Format.pp_print_string f ";") Format.pp_print_int)
+    c.pids c.w c.dest

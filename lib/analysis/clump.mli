@@ -1,0 +1,32 @@
+(** Clump generation (§IV-A): clustering the heat graph into groups of
+    partitions that should be co-located.
+
+    Seeds are taken hottest-first; a clump grows breadth-first over
+    edges whose effective weight exceeds the threshold α, so strongly
+    co-accessed partitions land in the same clump while independent ones
+    form singletons. *)
+
+type t = {
+  pids : int list;  (** member partitions, ascending *)
+  w : float;  (** summed vertex weight (load proxy) *)
+  mutable dest : int;  (** destination node; -1 until dispatched *)
+}
+
+val generate :
+  ?max_weight:float ->
+  Heatgraph.t ->
+  placement:Lion_store.Placement.t ->
+  alpha:float ->
+  cross_boost:float ->
+  t list
+(** All clumps covering every hot vertex, in seed (hottest-first)
+    order. Every hot vertex appears in exactly one clump.
+
+    [max_weight] (default: unbounded) stops a clump's expansion once its
+    vertex weight reaches the bound. Without it a densely co-accessed
+    hot set collapses into a single giant clump that the rearrangement
+    algorithm — which moves whole clumps — can never balance; the
+    planner passes the per-node fair share. *)
+
+val total_weight : t list -> float
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,51 @@
+module Placement = Lion_store.Placement
+
+type t = { w_r : float; w_m : float; freq : int -> float }
+
+let make ?(w_r = 1.0) ?(w_m = 10.0) ~freq () = { w_r; w_m; freq }
+
+let cnt_r t placement ~part ~node =
+  if Placement.has_primary placement ~part ~node then 0.0
+  else if Placement.has_secondary placement ~part ~node then (
+    let f_primary = t.freq part in
+    1.0 +. (log (f_primary +. 1.0) /. log 2.0))
+  else 0.0
+
+let cnt_m _t placement ~part ~node =
+  if Placement.has_replica placement ~part ~node then 0.0 else 1.0
+
+let clump_cost t placement ~parts ~node =
+  List.fold_left
+    (fun acc part ->
+      acc
+      +. (t.w_r *. cnt_r t placement ~part ~node)
+      +. (t.w_m *. cnt_m t placement ~part ~node))
+    0.0 parts
+
+let find_dst_node t placement ~parts =
+  let nodes = Placement.nodes placement in
+  let best = ref (0, infinity) in
+  for node = 0 to nodes - 1 do
+    let c = clump_cost t placement ~parts ~node in
+    let _, best_c = !best in
+    if c < best_c then best := (node, c)
+  done;
+  !best
+
+(* Execution-time promotion is opportunistic, unlike a planner move
+   that carries co-access evidence: stealing a busy primary away from
+   the clump it serves breaks every transaction of that clump until it
+   flips back. The router therefore prices remastering with a steep
+   frequency term — for the hottest partitions it approaches w_m, so a
+   transaction that would disrupt a hot clump runs 2PC instead. *)
+let route_freq_scale = 1000.0
+
+let txn_route_cost t placement ~parts ~node =
+  List.fold_left
+    (fun acc part ->
+      if Placement.has_primary placement ~part ~node then acc
+      else if Placement.has_secondary placement ~part ~node then (
+        let f = t.freq part *. route_freq_scale in
+        acc +. (t.w_r *. (1.0 +. (log (f +. 1.0) /. log 2.0))))
+      else acc +. t.w_m)
+    0.0 parts

@@ -1,0 +1,48 @@
+(** The clump-placement cost model (Eqs. 3–4).
+
+    Placing clump c on node n costs
+      f_o(n, c) = w_r · Σ cnt_r(v, n)  +  w_m · Σ cnt_m(v, n)
+    where cnt_r counts partitions that would need remastering —
+    weighted 1 + log₂(f(v, primary) + 1), since remastering a hot
+    primary is more disruptive — and cnt_m counts partitions with no
+    replica on n at all (migration needed). A node already holding all
+    primaries costs 0. *)
+
+type t = {
+  w_r : float;  (** remastering unit cost *)
+  w_m : float;  (** migration unit cost *)
+  freq : int -> float;  (** normalised access frequency f(v, ·) *)
+}
+
+val make : ?w_r:float -> ?w_m:float -> freq:(int -> float) -> unit -> t
+(** Defaults follow the remaster-vs-migration cost ratio of the
+    simulated substrate: [w_r] 1.0, [w_m] 10.0. *)
+
+val cnt_r : t -> Lion_store.Placement.t -> part:int -> node:int -> float
+val cnt_m : t -> Lion_store.Placement.t -> part:int -> node:int -> float
+
+val clump_cost : t -> Lion_store.Placement.t -> parts:int list -> node:int -> float
+(** f_o(n, c). *)
+
+val find_dst_node :
+  t -> Lion_store.Placement.t -> parts:int list -> int * float
+(** The node with the lowest placement cost (lowest id on ties) and
+    that cost. *)
+
+val txn_route_cost :
+  t -> Lion_store.Placement.t -> parts:int list -> node:int -> float
+(** Router-side execution-cost estimate for running a transaction on a
+    node: primaries are free, local secondaries cost a remaster, absent
+    partitions cost remote 2PC access (weighted [w_m], the dominant
+    cost). Used by the transaction router (§III), which shares the
+    planner's model.
+
+    Unlike {!clump_cost} (a deliberate planner move backed by co-access
+    evidence), the remaster term here scales the partition frequency
+    steeply ([route_freq_scale]), so that opportunistically stealing a
+    hot primary — which would break the clump it serves until it flips
+    back — prices out near [w_m] and the transaction runs 2PC instead.
+    This is what keeps overlapping cold templates from ping-ponging hot
+    partitions. *)
+
+val route_freq_scale : float

@@ -1,0 +1,71 @@
+module Placement = Lion_store.Placement
+
+type t = {
+  partitions : int;
+  vweight : float array;
+  (* adjacency: per-vertex hashtable of neighbour -> weight; edges are
+     stored symmetrically. *)
+  adj : (int, float) Hashtbl.t array;
+}
+
+let create ~partitions =
+  { partitions; vweight = Array.make partitions 0.0; adj = Array.init partitions (fun _ -> Hashtbl.create 8) }
+
+let bump_edge t u v w =
+  let upd a b =
+    let cur = Option.value ~default:0.0 (Hashtbl.find_opt t.adj.(a) b) in
+    Hashtbl.replace t.adj.(a) b (cur +. w)
+  in
+  upd u v;
+  upd v u
+
+let add_weighted t parts w =
+  List.iter (fun p -> t.vweight.(p) <- t.vweight.(p) +. w) parts;
+  let rec pairs = function
+    | [] -> ()
+    | p :: rest ->
+        List.iter (fun q -> bump_edge t p q w) rest;
+        pairs rest
+  in
+  pairs parts
+
+let add_txn t ~parts = add_weighted t parts 1.0
+let add_predicted t ~parts ~weight = if weight > 0.0 then add_weighted t parts weight
+let vertex_weight t p = t.vweight.(p)
+
+let edge_weight t u v = Option.value ~default:0.0 (Hashtbl.find_opt t.adj.(u) v)
+
+let effective_edge_weight t ~placement ~cross_boost u v =
+  let w = edge_weight t u v in
+  if w = 0.0 then 0.0
+  else if Placement.primary placement u <> Placement.primary placement v then
+    w *. cross_boost
+  else w
+
+let neighbors t p = Hashtbl.fold (fun q _ acc -> q :: acc) t.adj.(p) [] |> List.sort compare
+
+let hottest_first t =
+  let verts = ref [] in
+  for p = t.partitions - 1 downto 0 do
+    if t.vweight.(p) > 0.0 then verts := p :: !verts
+  done;
+  List.stable_sort (fun a b -> compare t.vweight.(b) t.vweight.(a)) !verts
+
+let edge_count t =
+  Array.fold_left (fun acc tbl -> acc + Hashtbl.length tbl) 0 t.adj / 2
+
+let mean_edge_weight t =
+  let total = ref 0.0 and count = ref 0 in
+  Array.iter
+    (fun tbl ->
+      Hashtbl.iter
+        (fun _ w ->
+          total := !total +. w;
+          incr count)
+        tbl)
+    t.adj;
+  if !count = 0 then 0.0 else !total /. float_of_int !count
+
+let clear t =
+  Array.fill t.vweight 0 t.partitions 0.0;
+  Array.iter Hashtbl.reset t.adj

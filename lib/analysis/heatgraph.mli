@@ -1,0 +1,49 @@
+(** The workload heat graph G(V, E) of §IV-A.
+
+    Vertices are partitions weighted by access frequency; an edge
+    connects two partitions co-accessed by a transaction, weighted by
+    co-access count. Edges whose endpoints' primaries currently live on
+    different nodes (e_c) are boosted over same-node edges (e_s) when
+    clustering reads them, reflecting the paper's higher priority for
+    cross-node co-access. Predicted co-access (from the workload
+    predictor) is merged in as extra edge weight — the red dashed edge
+    of Fig. 5c. *)
+
+type t
+
+val create : partitions:int -> t
+
+val add_txn : t -> parts:int list -> unit
+(** Accumulate one transaction: +1 on each touched vertex, +1 on every
+    pair of touched partitions. *)
+
+val add_predicted : t -> parts:int list -> weight:float -> unit
+(** Merge a predicted co-access template with the given weight (w_p
+    scaled) on its vertices and pairwise edges. *)
+
+val vertex_weight : t -> int -> float
+
+val edge_weight : t -> int -> int -> float
+(** Raw co-access weight (order-insensitive); 0 if absent. *)
+
+val effective_edge_weight :
+  t -> placement:Lion_store.Placement.t -> cross_boost:float -> int -> int -> float
+(** Edge weight multiplied by [cross_boost] when the two partitions'
+    primaries are on different nodes. *)
+
+val neighbors : t -> int -> int list
+(** Partitions sharing an edge with the given one. *)
+
+val hottest_first : t -> int list
+(** All vertices with non-zero weight, hottest first (the hVertices
+    priority queue). *)
+
+val edge_count : t -> int
+
+val mean_edge_weight : t -> float
+(** Average raw edge weight; 0 for an edgeless graph. Callers derive an
+    adaptive clumping threshold α from it (e.g. 2× the mean) so that
+    uniformly random co-access — where every edge sits near the mean —
+    yields singleton clumps, while structurally hot pairs clump. *)
+
+val clear : t -> unit

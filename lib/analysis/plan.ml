@@ -1,0 +1,34 @@
+module Placement = Lion_store.Placement
+
+type action =
+  | Add_replica of { part : int; node : int }
+  | Remaster of { part : int; node : int }
+
+type t = { actions : action list; adds : int; remasters : int }
+
+let of_assignments placement assignments ~eager_remaster =
+  let actions = ref [] and adds = ref 0 and remasters = ref 0 in
+  List.iter
+    (fun ((c : Clump.t), node) ->
+      List.iter
+        (fun part ->
+          if not (Placement.has_primary placement ~part ~node) then
+            if Placement.has_secondary placement ~part ~node then (
+              if eager_remaster then (
+                actions := Remaster { part; node } :: !actions;
+                incr remasters))
+            else (
+              actions := Add_replica { part; node } :: !actions;
+              incr adds;
+              if eager_remaster then (
+                actions := Remaster { part; node } :: !actions;
+                incr remasters)))
+        c.pids)
+    assignments;
+  { actions = List.rev !actions; adds = !adds; remasters = !remasters }
+
+let is_empty t = t.actions = []
+
+let pp_action fmt = function
+  | Add_replica { part; node } -> Format.fprintf fmt "Add:P%d->N%d" part node
+  | Remaster { part; node } -> Format.fprintf fmt "Remaster:P%d->N%d" part node

@@ -1,0 +1,28 @@
+(** Reconfiguration plans: the concrete replica actions derived from a
+    clump assignment (the RP routed to each node's adaptor, §V).
+
+    For each partition of each clump destined to node n:
+    - n already holds the primary → nothing;
+    - n holds a secondary → optionally an eager [Remaster] (Lion's
+      default leaves promotion to transaction-time remastering);
+    - n holds nothing → [Add_replica] (background copy), plus an eager
+      [Remaster] if requested. *)
+
+type action =
+  | Add_replica of { part : int; node : int }
+  | Remaster of { part : int; node : int }
+
+type t = {
+  actions : action list;
+  adds : int;  (** migration-class actions in the plan *)
+  remasters : int;  (** eager promotions in the plan *)
+}
+
+val of_assignments :
+  Lion_store.Placement.t ->
+  (Clump.t * int) list ->
+  eager_remaster:bool ->
+  t
+
+val is_empty : t -> bool
+val pp_action : Format.formatter -> action -> unit

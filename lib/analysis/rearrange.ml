@@ -1,0 +1,102 @@
+module Placement = Lion_store.Placement
+
+type result = {
+  assignments : (Clump.t * int) list;
+  balance : float array;
+  fine_tune_moves : int;
+  balanced : bool;
+}
+
+let check_balance balance avg epsilon =
+  let theta = avg *. (1.0 +. epsilon) in
+  Array.for_all (fun b -> b <= theta +. 1e-9) balance
+
+(* Overloaded: above avg·(1+ε). Idle: strictly below avg, so a move
+   always narrows the gap. Both lists are sorted most-extreme-first. *)
+let find_oi_nodes balance avg epsilon =
+  let theta = avg *. (1.0 +. epsilon) in
+  let overloaded = ref [] and idle = ref [] in
+  Array.iteri
+    (fun n b ->
+      if b > theta then overloaded := (n, b) :: !overloaded
+      else if b < avg then idle := (n, b) :: !idle)
+    balance;
+  ( List.sort (fun (_, a) (_, b) -> compare b a) !overloaded |> List.map fst,
+    List.sort (fun (_, a) (_, b) -> compare a b) !idle |> List.map fst )
+
+let rearrange cost placement clumps ?(epsilon = 0.25) ?(max_steps = 64) () =
+  let nodes = Placement.nodes placement in
+  let balance = Array.make nodes 0.0 in
+  (* Per-node clump queues, kept ascending by weight for the gap search
+     of PickClump. *)
+  let queues = Array.make nodes [] in
+  (* Step 1: clump dispatching. *)
+  List.iter
+    (fun (c : Clump.t) ->
+      let dst, _ = Costmodel.find_dst_node cost placement ~parts:c.pids in
+      c.dest <- dst;
+      balance.(dst) <- balance.(dst) +. c.w;
+      queues.(dst) <- c :: queues.(dst))
+    clumps;
+  Array.iteri
+    (fun n q -> queues.(n) <- List.sort (fun (a : Clump.t) b -> compare a.w b.w) q)
+    queues;
+  let avg = Clump.total_weight clumps /. float_of_int nodes in
+  (* Step 2: load fine-tuning. *)
+  let moves = ref 0 in
+  let steps = ref max_steps in
+  let running = ref true in
+  while !running && (not (check_balance balance avg epsilon)) && !steps > 0 do
+    let overloaded, idle = find_oi_nodes balance avg epsilon in
+    match (overloaded, idle) with
+    | [], _ | _, [] -> running := false
+    | _ ->
+        (* PickClump: try overloaded nodes hottest-first; take the
+           largest clump not exceeding the load gap, send it to the
+           cheapest idle node. *)
+        let pick () =
+          let try_node o_n =
+            let gap = balance.(o_n) -. avg in
+            let candidates =
+              List.filter (fun (c : Clump.t) -> c.w <= gap +. 1e-9 && c.w > 0.0) queues.(o_n)
+            in
+            match List.rev candidates with
+            | [] -> None
+            | c :: _ ->
+                let best_idle =
+                  List.fold_left
+                    (fun acc i_n ->
+                      let fc = Costmodel.clump_cost cost placement ~parts:c.pids ~node:i_n in
+                      match acc with
+                      | Some (_, best) when best <= fc -> acc
+                      | _ -> Some (i_n, fc))
+                    None idle
+                in
+                Option.map (fun (i_n, _) -> (o_n, c, i_n)) best_idle
+          in
+          List.find_map try_node overloaded
+        in
+        (match pick () with
+        | None -> running := false
+        | Some (o_n, c, i_n) ->
+            queues.(o_n) <- List.filter (fun (x : Clump.t) -> x != c) queues.(o_n);
+            queues.(i_n) <-
+              List.sort (fun (a : Clump.t) b -> compare a.w b.w) (c :: queues.(i_n));
+            balance.(o_n) <- balance.(o_n) -. c.w;
+            balance.(i_n) <- balance.(i_n) +. c.w;
+            c.dest <- i_n;
+            incr moves);
+        decr steps
+  done;
+  {
+    assignments = List.map (fun (c : Clump.t) -> (c, c.dest)) clumps;
+    balance;
+    fine_tune_moves = !moves;
+    balanced = check_balance balance avg epsilon;
+  }
+
+let plan_cost cost placement assignments =
+  List.fold_left
+    (fun acc ((c : Clump.t), n) ->
+      acc +. Costmodel.clump_cost cost placement ~parts:c.pids ~node:n)
+    0.0 assignments

@@ -1,0 +1,29 @@
+(** The replica rearrangement algorithm (Algorithm 1, §IV-B).
+
+    Step 1 (clump dispatching) sends every clump to its cheapest node
+    under the cost model. Step 2 (load fine-tuning) moves clumps from
+    overloaded nodes (balance factor above avg·(1+ε)) to idle ones
+    until the placement is balanced or the step budget A runs out. *)
+
+type result = {
+  assignments : (Clump.t * int) list;
+      (** every clump with its final destination node *)
+  balance : float array;  (** final per-node balance factors b_i *)
+  fine_tune_moves : int;  (** clumps moved during step 2 *)
+  balanced : bool;  (** true iff max b_i ≤ avg·(1+ε) at exit *)
+}
+
+val rearrange :
+  Costmodel.t ->
+  Lion_store.Placement.t ->
+  Clump.t list ->
+  ?epsilon:float ->
+  ?max_steps:int ->
+  unit ->
+  result
+(** [epsilon] is the permissible imbalance (default 0.25); [max_steps]
+    caps fine-tuning moves (the algorithm's A, default 64). Clump
+    [dest] fields are updated in place as a side effect. *)
+
+val plan_cost : Costmodel.t -> Lion_store.Placement.t -> (Clump.t * int) list -> float
+(** C_p(P, P') of Eq. 2: summed placement cost of the assignment. *)

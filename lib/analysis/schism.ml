@@ -1,0 +1,18 @@
+module Placement = Lion_store.Placement
+
+let assign clumps ~nodes =
+  let load = Array.make nodes 0.0 in
+  let sorted = List.sort (fun (a : Clump.t) b -> compare b.w a.w) clumps in
+  List.iter
+    (fun (c : Clump.t) ->
+      let best = ref 0 in
+      for n = 1 to nodes - 1 do
+        if load.(n) < load.(!best) then best := n
+      done;
+      c.dest <- !best;
+      load.(!best) <- load.(!best) +. c.w)
+    sorted;
+  List.map (fun (c : Clump.t) -> (c, c.dest)) clumps
+
+let plan placement assignments =
+  Plan.of_assignments placement assignments ~eager_remaster:true

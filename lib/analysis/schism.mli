@@ -1,0 +1,17 @@
+(** Schism-style partitioner (the Lion(S)/Lion(SW) ablation baseline).
+
+    Schism clusters the co-access graph and then balances purely on
+    load, ignoring where primaries and secondaries already live — so it
+    issues migrations Lion's replica-aware model would avoid. We reuse
+    the same clump generation and assign clumps greedily to the
+    least-loaded node, largest clump first. *)
+
+val assign :
+  Clump.t list -> nodes:int -> (Clump.t * int) list
+(** Balance-only placement; sets each clump's [dest] in place. *)
+
+val plan : Lion_store.Placement.t -> (Clump.t * int) list -> Plan.t
+(** Schism moves primaries to their destinations unconditionally:
+    every partition whose primary is elsewhere gets a migration-class
+    action ([Add_replica] if no replica is present) plus an eager
+    [Remaster] — the "unnecessary migrations" of §VI-B. *)

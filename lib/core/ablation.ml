@@ -1,0 +1,43 @@
+type variant = V_2pc | V_s | V_r | V_sw | V_rw | V_rb | V_full
+
+let all = [ V_2pc; V_s; V_r; V_sw; V_rw; V_rb; V_full ]
+
+let name = function
+  | V_2pc -> "2PC"
+  | V_s -> "Lion(S)"
+  | V_r -> "Lion(R)"
+  | V_sw -> "Lion(SW)"
+  | V_rw -> "Lion(RW)"
+  | V_rb -> "Lion(RB)"
+  | V_full -> "Lion"
+
+let config ~strategy ~predict ~use_lstm =
+  { Planner.default_config with Planner.strategy; predict; use_lstm }
+
+let create ?seed ?(use_lstm = true) variant cl =
+  match variant with
+  | V_2pc -> Lion_protocols.Twopc.create cl
+  | V_s ->
+      Standard.create ?seed
+        ~config:(config ~strategy:Planner.Schism_strategy ~predict:false ~use_lstm)
+        cl
+  | V_r ->
+      Standard.create ?seed
+        ~config:(config ~strategy:Planner.Rearrange ~predict:false ~use_lstm)
+        cl
+  | V_sw ->
+      Standard.create ?seed
+        ~config:(config ~strategy:Planner.Schism_strategy ~predict:true ~use_lstm)
+        cl
+  | V_rw ->
+      Standard.create ?seed
+        ~config:(config ~strategy:Planner.Rearrange ~predict:true ~use_lstm)
+        cl
+  | V_rb ->
+      Batch_mode.create ?seed
+        ~config:(config ~strategy:Planner.Rearrange ~predict:false ~use_lstm)
+        cl
+  | V_full ->
+      Batch_mode.create ?seed
+        ~config:(config ~strategy:Planner.Rearrange ~predict:true ~use_lstm)
+        cl

@@ -1,0 +1,23 @@
+(** Lion, batch execution mode (§IV-D).
+
+    Remastering is issued asynchronously for the whole buffered batch
+    before execution starts, so the network delays of all promotions
+    overlap: the epoch pays at most one remaster-delay barrier instead
+    of one per transaction. Conflicting remaster claims on the same
+    partition are resolved first-wins; the losers run as distributed
+    transactions (§III's conflict rule). The planner keeps adapting
+    replica placement on the harness tick. *)
+
+val create :
+  ?name:string ->
+  ?seed:int ->
+  ?config:Planner.config ->
+  Lion_store.Cluster.t ->
+  Lion_protocols.Proto.t
+
+val create_with_planner :
+  ?name:string ->
+  ?seed:int ->
+  ?config:Planner.config ->
+  Lion_store.Cluster.t ->
+  Lion_protocols.Proto.t * Planner.t

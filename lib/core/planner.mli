@@ -1,0 +1,53 @@
+(** Lion's planner node (§III): workload analyzer + plan generator.
+
+    Each analysis round (driven by the harness tick):
+    + the heat graph accumulated since the last round — plus, when
+      prediction is enabled and the workload-variation trigger fires,
+      the predicted co-access templates weighted by w_p — is clustered
+      into clumps;
+    + the rearrangement algorithm (or the Schism baseline strategy, for
+      the Table II ablations) assigns clumps to nodes;
+    + the resulting reconfiguration plan is applied asynchronously by
+      the adaptor (replica additions in the background, remastering
+      lazily at execution time unless the strategy is eager). *)
+
+type strategy = Rearrange | Schism_strategy
+
+type config = {
+  strategy : strategy;
+  predict : bool;
+  epsilon : float;  (** load-imbalance tolerance of Algorithm 1 *)
+  cross_boost : float;  (** e_c over e_s edge-weight priority *)
+  alpha_factor : float;
+      (** clump threshold α = alpha_factor × mean edge weight *)
+  w_r : float;
+  w_m : float;
+  decay : float;  (** per-round decay of partition access counters *)
+  use_lstm : bool;  (** false = trend-only forecaster (fast benches) *)
+  w_p : float;
+      (** weight of predicted co-access in the heat graph (§IV-C);
+          0 disables the prediction algorithm, the paper's default is 1 *)
+}
+
+val default_config : config
+(** Rearrange + prediction, ε = 0.25, cross boost 4, α factor 2,
+    w_r = 1, w_m = 10, decay 0.5. *)
+
+type t
+
+val create : ?seed:int -> config -> Lion_store.Cluster.t -> t
+
+val cost_model : t -> Lion_analysis.Costmodel.t
+(** Shared with the routers. *)
+
+val observe : t -> Lion_workload.Txn.t -> unit
+(** Feed one routed transaction (graph + predictor). *)
+
+val tick : t -> unit
+(** One analysis round: analyse, plan, apply asynchronously. *)
+
+val rounds : t -> int
+val last_plan_adds : t -> int
+val last_wv : t -> float
+(** Workload-variation metric after the latest round (0 when prediction
+    is off). *)

@@ -1,0 +1,38 @@
+module Cluster = Lion_store.Cluster
+module Placement = Lion_store.Placement
+module Server = Lion_sim.Server
+module Costmodel = Lion_analysis.Costmodel
+module Txn = Lion_workload.Txn
+
+type t = { cl : Cluster.t; cost : Costmodel.t }
+
+let create cl cost = { cl; cost }
+
+(* Cost ties break on a deterministic hash of the partition set, never
+   on instantaneous load: transactions accessing the same partitions
+   must route to the same node or remastering ping-pongs between the
+   tied nodes (§III), while distinct partition sets still spread across
+   their tied candidates instead of piling onto one node id. *)
+let route t (txn : Txn.t) =
+  let placement = t.cl.Cluster.placement in
+  let nodes = Placement.nodes placement in
+  let best_cost = ref infinity in
+  for node = 0 to nodes - 1 do
+    if Cluster.alive t.cl node then (
+      let c = Costmodel.txn_route_cost t.cost placement ~parts:txn.Txn.parts ~node in
+      if c < !best_cost then best_cost := c)
+  done;
+  let tied = ref [] in
+  for node = nodes - 1 downto 0 do
+    if Cluster.alive t.cl node then (
+      let c = Costmodel.txn_route_cost t.cost placement ~parts:txn.Txn.parts ~node in
+      if c <= !best_cost +. 1e-9 then tied := node :: !tied)
+  done;
+  match !tied with
+  | [] -> invalid_arg "Router.route: no live node"
+  | [ n ] -> n
+  | candidates ->
+      let h = Hashtbl.hash txn.Txn.parts in
+      List.nth candidates (h mod List.length candidates)
+
+let cost_model t = t.cost

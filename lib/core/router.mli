@@ -1,0 +1,16 @@
+(** Lion's transaction router (§III).
+
+    Each router instance carries the same cost model as the planner and
+    dispatches a transaction to the node where the execution cost is
+    lowest — the node with the most requisite replicas: all primaries
+    beats all-replicas-some-secondary (remaster cost) beats missing
+    replicas (2PC cost). Ties break toward the less-loaded node so
+    independent hot clumps spread across their replica sets. *)
+
+type t
+
+val create : Lion_store.Cluster.t -> Lion_analysis.Costmodel.t -> t
+
+val route : t -> Lion_workload.Txn.t -> int
+
+val cost_model : t -> Lion_analysis.Costmodel.t

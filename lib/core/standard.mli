@@ -1,0 +1,29 @@
+(** Lion, standard (ad-hoc) execution mode (§III).
+
+    Transactions are routed by the cost-model router; on the executor a
+    locally-held secondary is remastered (blocking that partition for
+    the remaster delay) so the operation can run locally; a transaction
+    whose operations all ended local commits directly, skipping the
+    prepare phase, and everything else falls back to 2PC. The planner
+    runs on the harness tick, adapting replica placement asynchronously. *)
+
+val create :
+  ?name:string ->
+  ?read_at_secondary:bool ->
+  ?seed:int ->
+  ?config:Planner.config ->
+  Lion_store.Cluster.t ->
+  Lion_protocols.Proto.t
+(** [read_at_secondary] (default false) enables the bounded-staleness
+    extension: all-read partition groups are served by locally-held
+    secondaries without promotion. *)
+
+val create_with_planner :
+  ?name:string ->
+  ?read_at_secondary:bool ->
+  ?seed:int ->
+  ?config:Planner.config ->
+  Lion_store.Cluster.t ->
+  Lion_protocols.Proto.t * Planner.t
+(** Variant exposing the planner, for experiments that inspect rounds
+    and wv (Figs. 12, 13). *)

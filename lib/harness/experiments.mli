@@ -1,0 +1,82 @@
+(** One experiment per table/figure of the paper's evaluation (§VI).
+
+    Every function prints the figure's data as an aligned table (series
+    per row) in the same shape the paper plots, plus the headline
+    observations the paper reports. [scale] multiplies all simulated
+    durations (default 1.0; use < 1 for smoke runs).
+
+    The registry maps experiment ids to runners for the CLI and the
+    benchmark executable. *)
+
+val table1_comparison : unit -> unit
+(** Table I: qualitative design-dimension comparison (printed as-is). *)
+
+val fig6_ablation : ?scale:float -> unit -> unit
+(** Table II + Fig. 6: the seven Lion variants on uniform YCSB with
+    100 % distributed transactions. *)
+
+val fig7_crossratio_nonbatch : ?scale:float -> unit -> unit
+(** Fig. 7: throughput vs cross-partition ratio, skewed YCSB and TPC-C,
+    standard-execution protocols, remaster delay 3000 µs. *)
+
+val fig8_dynamic_nonbatch : ?scale:float -> unit -> unit
+(** Fig. 8: throughput over time under the two dynamic scenarios,
+    standard-execution protocols. *)
+
+val fig9_crossratio_batch : ?scale:float -> unit -> unit
+(** Fig. 9: throughput vs cross-partition ratio, batch protocols. *)
+
+val fig10_dynamic_batch : ?scale:float -> unit -> unit
+(** Fig. 10: throughput over time, batch protocols. *)
+
+val fig11_scalability : ?scale:float -> unit -> unit
+(** Fig. 11: throughput at 4–10 executor nodes, 100 % cross-partition
+    uniform workload, all protocols. *)
+
+val fig12_migration_analysis : ?scale:float -> unit -> unit
+(** Fig. 12: throughput and network bytes/transaction over time as the
+    planner pre-replicates ahead of a predicted workload shift. *)
+
+val fig13a_preplication : ?scale:float -> unit -> unit
+(** Fig. 13a: adaptation speed with and without the prediction
+    mechanism (time to recover steady throughput after a shift). *)
+
+val fig13b_batch_opt : ?scale:float -> unit -> unit
+(** Fig. 13b: impact of the remastering delay on standard vs batch
+    Lion (asynchronous remastering hides the latency). *)
+
+val fig14_latency : ?scale:float -> unit -> unit
+(** Fig. 14: latency percentiles and per-phase breakdown for the batch
+    protocols. *)
+
+val abl_cooldown : ?scale:float -> unit -> unit
+(** Extra ablation: the remaster cooldown that damps ping-pong — sweep
+    it and report throughput and remaster rate. *)
+
+val abl_replicas : ?scale:float -> unit -> unit
+(** Extra ablation: the per-partition replica budget (paper §IV-B sets
+    a user-configurable maximum, 4 in the evaluation). *)
+
+val abl_wp : ?scale:float -> unit -> unit
+(** Extra ablation: the prediction weight w_p of §IV-C (0 disables the
+    predictor; the paper's default is 1). *)
+
+val abl_forecaster : ?scale:float -> unit -> unit
+(** Extra ablation: forecast accuracy of the LSTM against vanilla-RNN
+    and linear-regression baselines on arrival-rate-shaped series
+    (§IV-C1's model-choice argument). *)
+
+val abl_failover : ?scale:float -> unit -> unit
+(** Extra ablation: crash one node mid-run and recover it — exercising
+    the availability machinery (leader election, failover promotion)
+    that partition-based replication exists to provide. *)
+
+val abl_read_secondary : ?scale:float -> unit -> unit
+(** Extra ablation: the bounded-staleness extension serving all-read
+    partition groups from locally-held secondaries (beyond the paper,
+    where only primaries serve operations). *)
+
+val registry : (string * string * (float -> unit)) list
+(** (id, description, run-with-scale) for every experiment above. *)
+
+val run_all : ?scale:float -> unit -> unit

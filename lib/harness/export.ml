@@ -1,0 +1,68 @@
+let escape cell =
+  let needs_quoting =
+    String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') cell
+  in
+  if not needs_quoting then cell
+  else (
+    let buf = Buffer.create (String.length cell + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      cell;
+    Buffer.add_char buf '"';
+    Buffer.contents buf)
+
+let write_csv ~path ~header ~rows =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      let line cells = output_string oc (String.concat "," (List.map escape cells) ^ "\n") in
+      line header;
+      List.iter line rows)
+
+let series_csv ~path series =
+  let header = "second" :: List.map fst series in
+  let len = List.fold_left (fun acc (_, a) -> Stdlib.max acc (Array.length a)) 0 series in
+  let rows =
+    List.init len (fun i ->
+        string_of_int (i + 1)
+        :: List.map
+             (fun (_, a) ->
+               if i < Array.length a then Printf.sprintf "%.1f" a.(i) else "")
+             series)
+  in
+  write_csv ~path ~header ~rows
+
+let result_rows results =
+  let header =
+    [
+      "label"; "throughput_txn_s"; "commits"; "aborts"; "p50_us"; "p75_us"; "p90_us";
+      "p95_us"; "mean_latency_us"; "single_node_ratio"; "remaster_ratio"; "bytes_per_txn";
+      "remasters"; "replica_adds";
+    ]
+  in
+  let row (label, (r : Runner.result)) =
+    [
+      label;
+      Printf.sprintf "%.1f" r.Runner.throughput;
+      string_of_int r.Runner.commits;
+      string_of_int r.Runner.aborts;
+      Printf.sprintf "%.1f" r.Runner.p50;
+      Printf.sprintf "%.1f" r.Runner.p75;
+      Printf.sprintf "%.1f" r.Runner.p90;
+      Printf.sprintf "%.1f" r.Runner.p95;
+      Printf.sprintf "%.1f" r.Runner.mean_latency;
+      Printf.sprintf "%.4f" r.Runner.single_node_ratio;
+      Printf.sprintf "%.4f" r.Runner.remaster_ratio;
+      Printf.sprintf "%.1f" r.Runner.bytes_per_txn;
+      string_of_int r.Runner.remasters;
+      string_of_int r.Runner.replica_adds;
+    ]
+  in
+  (header, List.map row results)
+
+let result_csv ~path results =
+  let header, rows = result_rows results in
+  write_csv ~path ~header ~rows

@@ -1,0 +1,17 @@
+(** CSV export of experiment results, for external plotting.
+
+    Cells are quoted/escaped per RFC 4180 when they contain commas,
+    quotes or newlines. *)
+
+val write_csv : path:string -> header:string list -> rows:string list list -> unit
+
+val series_csv : path:string -> (string * float array) list -> unit
+(** Per-second series, one labelled column per series (e.g. throughput
+    of several protocols over the same run), one row per second.
+    Shorter series pad with empty cells. *)
+
+val result_rows : (string * Runner.result) list -> string list * string list list
+(** Header + one summary row per labelled result (throughput, latency
+    percentiles, ratios, adaptation counters) — feed to [write_csv]. *)
+
+val result_csv : path:string -> (string * Runner.result) list -> unit

@@ -1,0 +1,95 @@
+module Cluster = Lion_store.Cluster
+module Config = Lion_store.Config
+module Engine = Lion_sim.Engine
+module Network = Lion_sim.Network
+module Metrics = Lion_sim.Metrics
+module Proto = Lion_protocols.Proto
+
+type config = {
+  clients : int;
+  warmup : float;
+  duration : float;
+  tick_every : float;
+}
+
+let quick = { clients = 0; warmup = 2.0; duration = 6.0; tick_every = 1.0 }
+
+type result = {
+  throughput : float;
+  commits : int;
+  aborts : int;
+  p50 : float;
+  p75 : float;
+  p90 : float;
+  p95 : float;
+  mean_latency : float;
+  single_node_ratio : float;
+  remaster_ratio : float;
+  throughput_series : float array;
+  bytes_series : float array;
+  bytes_per_txn : float;
+  phase_fractions : (Metrics.phase * float) list;
+  remasters : int;
+  replica_adds : int;
+}
+
+let run ?(seed = 1) ?(batch = false) ?(setup = fun _ -> ()) ~cfg ~make ~gen rc =
+  let cl = Cluster.create ~seed cfg in
+  setup cl;
+  let proto = make cl in
+  let engine = cl.Cluster.engine in
+  let clients =
+    if rc.clients > 0 then rc.clients
+    else if batch then cfg.Config.batch_size
+    else 2 * Config.total_workers cfg
+  in
+  (* Closed-loop clients. *)
+  let rec client_loop () =
+    let txn = gen ~time:(Engine.now engine) in
+    proto.Proto.submit txn ~on_done:(fun () ->
+        Engine.schedule engine ~delay:0.0 client_loop)
+  in
+  for _ = 1 to clients do
+    client_loop ()
+  done;
+  (* Periodic protocol tick (planner / load monitor). *)
+  let tick_us = Engine.seconds rc.tick_every in
+  let rec ticker () =
+    Engine.schedule engine ~delay:tick_us (fun () ->
+        proto.Proto.tick ();
+        ticker ())
+  in
+  ticker ();
+  (* Warm up, reset the summary window, then measure. *)
+  Engine.run_until engine (Engine.seconds rc.warmup);
+  Metrics.reset_window cl.Cluster.metrics;
+  let bytes_before = Network.total_bytes cl.Cluster.network in
+  Engine.run_until engine (Engine.seconds (rc.warmup +. rc.duration));
+  proto.Proto.drain ();
+  let metrics = cl.Cluster.metrics in
+  let commits = Metrics.commits metrics in
+  let bytes_delta = Network.total_bytes cl.Cluster.network - bytes_before in
+  {
+    throughput = float_of_int commits /. rc.duration;
+    commits;
+    aborts = Metrics.aborts metrics;
+    p50 = Metrics.latency_percentile metrics 50.0;
+    p75 = Metrics.latency_percentile metrics 75.0;
+    p90 = Metrics.latency_percentile metrics 90.0;
+    p95 = Metrics.latency_percentile metrics 95.0;
+    mean_latency = Metrics.mean_latency metrics;
+    single_node_ratio =
+      (if commits = 0 then 0.0
+       else float_of_int (Metrics.single_node_commits metrics) /. float_of_int commits);
+    remaster_ratio =
+      (if commits = 0 then 0.0
+       else float_of_int (Metrics.remastered_commits metrics) /. float_of_int commits);
+    throughput_series = Metrics.throughput_series metrics;
+    bytes_series = Lion_kernel.Timeseries.to_array (Network.bytes_series cl.Cluster.network);
+    bytes_per_txn =
+      (if commits = 0 then 0.0 else float_of_int bytes_delta /. float_of_int commits);
+    phase_fractions =
+      List.map (fun p -> (p, Metrics.phase_fraction metrics p)) Metrics.all_phases;
+    remasters = cl.Cluster.remaster_count;
+    replica_adds = cl.Cluster.replica_add_count;
+  }

@@ -1,0 +1,51 @@
+(** Experiment runner: builds a cluster, drives a protocol with
+    closed-loop clients over a workload for a span of simulated time,
+    and collects the series and summary statistics every figure needs.
+
+    Standard protocols run with a small client pool (a multiple of the
+    cluster's worker count); batch protocols run saturated with one
+    client per batch slot, as in the paper's benchmarking setup. *)
+
+type config = {
+  clients : int;  (** closed-loop concurrency; 0 = auto per protocol *)
+  warmup : float;  (** simulated seconds excluded from summary stats *)
+  duration : float;  (** measured simulated seconds *)
+  tick_every : float;  (** planner/monitor tick period, seconds *)
+}
+
+val quick : config
+(** warmup 2 s, duration 6 s, tick 1 s — the benchmark default. *)
+
+type result = {
+  throughput : float;  (** commits per measured second *)
+  commits : int;
+  aborts : int;
+  p50 : float;  (** latency percentiles over the measured window, µs *)
+  p75 : float;
+  p90 : float;
+  p95 : float;
+  mean_latency : float;
+  single_node_ratio : float;  (** fraction of commits that ran single-node *)
+  remaster_ratio : float;
+  throughput_series : float array;  (** commits per second, incl. warmup *)
+  bytes_series : float array;  (** network bytes per second, incl. warmup *)
+  bytes_per_txn : float;  (** measured-window bytes / commits *)
+  phase_fractions : (Lion_sim.Metrics.phase * float) list;
+  remasters : int;  (** cluster-wide remaster operations *)
+  replica_adds : int;
+}
+
+val run :
+  ?seed:int ->
+  ?batch:bool ->
+  ?setup:(Lion_store.Cluster.t -> unit) ->
+  cfg:Lion_store.Config.t ->
+  make:(Lion_store.Cluster.t -> Lion_protocols.Proto.t) ->
+  gen:(time:float -> Lion_workload.Txn.t) ->
+  config ->
+  result
+(** [batch] (default false) selects the auto client count: 2× workers
+    for standard protocols, one per batch slot for batch protocols.
+    [setup] runs after the cluster is built and before any client
+    starts — fault-injection experiments use it to schedule node
+    failures on the cluster's engine. *)

@@ -1,0 +1,58 @@
+module Config = Lion_store.Config
+module Ycsb = Lion_workload.Ycsb
+module Tpcc = Lion_workload.Tpcc
+module Dynamic = Lion_workload.Dynamic
+module Engine = Lion_sim.Engine
+
+let base_params ?(skew = 0.0) ?(cross = 0.0) ?(neighbor = true) cfg =
+  {
+    (Ycsb.default_params ~partitions:(Config.total_partitions cfg)
+       ~nodes:cfg.Config.nodes)
+    with
+    Ycsb.skew_factor = skew;
+    cross_ratio = cross;
+    neighbor_cross = neighbor;
+  }
+
+let ycsb ?(seed = 7) ?skew ?cross ?neighbor cfg =
+  let gen = Ycsb.create ~seed (base_params ?skew ?cross ?neighbor cfg) in
+  fun ~time:_ -> Ycsb.next gen
+
+let tpcc ?(seed = 11) ?(skew = 0.0) ?(cross = 0.1) cfg =
+  let params =
+    {
+      (Tpcc.default_params ~warehouses:(Config.total_partitions cfg)
+         ~nodes:cfg.Config.nodes)
+      with
+      Tpcc.skew_factor = skew;
+      cross_ratio = cross;
+    }
+  in
+  let gen = Tpcc.create ~seed params in
+  fun ~time:_ -> Tpcc.next gen
+
+let dynamic_interval ?(seed = 13) ?(period = 8.0) cfg =
+  let schedule =
+    Dynamic.hotspot_interval ~base:(base_params cfg) ~period:(Engine.seconds period)
+  in
+  let driver = Dynamic.Driver.create ~schedule ~gen:(Ycsb.create ~seed (base_params cfg)) in
+  fun ~time -> Dynamic.Driver.next driver ~time
+
+let dynamic_position ?(seed = 17) ?(period = 8.0) cfg =
+  let schedule =
+    Dynamic.hotspot_position ~base:(base_params cfg) ~period:(Engine.seconds period)
+  in
+  let driver = Dynamic.Driver.create ~schedule ~gen:(Ycsb.create ~seed (base_params cfg)) in
+  fun ~time -> Dynamic.Driver.next driver ~time
+
+let position_phases cfg ~period =
+  let schedule =
+    Dynamic.hotspot_position ~base:(base_params cfg) ~period:(Engine.seconds period)
+  in
+  ignore schedule;
+  [
+    ("A:uniform-50", 0.0);
+    ("B:skew-50", period);
+    ("C:skew-100", 2.0 *. period);
+    ("D:skew-100-shift", 3.0 *. period);
+  ]

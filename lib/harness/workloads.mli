@@ -1,0 +1,45 @@
+(** Workload builders shared by the experiment definitions — each
+    returns a fresh, seeded generator closure compatible with
+    {!Runner.run}'s [gen] argument. *)
+
+val ycsb :
+  ?seed:int ->
+  ?skew:float ->
+  ?cross:float ->
+  ?neighbor:bool ->
+  Lion_store.Config.t ->
+  time:float ->
+  Lion_workload.Txn.t
+(** Static YCSB. [skew] default 0 (uniform), [cross] default 0. The
+    closure is created on first partial application:
+    [let gen = Workloads.ycsb cfg ~skew:0.8 in Runner.run ~gen ...]. *)
+
+val tpcc :
+  ?seed:int ->
+  ?skew:float ->
+  ?cross:float ->
+  Lion_store.Config.t ->
+  time:float ->
+  Lion_workload.Txn.t
+(** TPC-C NewOrder (one warehouse per partition). *)
+
+val dynamic_interval :
+  ?seed:int ->
+  ?period:float ->
+  Lion_store.Config.t ->
+  time:float ->
+  Lion_workload.Txn.t
+(** The hotspot-interval scenario of §VI-C2; [period] in simulated
+    seconds (default 8). *)
+
+val dynamic_position :
+  ?seed:int ->
+  ?period:float ->
+  Lion_store.Config.t ->
+  time:float ->
+  Lion_workload.Txn.t
+(** The A/B/C/D hotspot-position scenario. *)
+
+val position_phases : Lion_store.Config.t -> period:float -> (string * float) list
+(** Phase labels with their start times (seconds), for annotating the
+    dynamic-workload time-series tables. *)

@@ -1,0 +1,26 @@
+(** Mutable binary min-heap priority queue.
+
+    Used by the discrete-event engine (events keyed by time) and by the
+    workload analyzer (hottest-vertex queue uses it with negated keys).
+    Ties are broken by insertion order so that simulations are fully
+    deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> float -> 'a -> unit
+(** [push q key v] inserts [v] with priority [key] (smaller pops first). *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the minimum-key element, FIFO among equal keys. *)
+
+val peek : 'a t -> (float * 'a) option
+
+val clear : 'a t -> unit
+
+val to_list : 'a t -> (float * 'a) list
+(** Snapshot in ascending key order; does not modify the queue. *)

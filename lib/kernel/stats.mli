@@ -1,0 +1,46 @@
+(** Online statistics: running moments, percentile reservoirs, counters.
+
+    The simulator records one latency sample per committed transaction
+    and per-second throughput buckets; this module provides the
+    accumulators the metrics layer is built on. *)
+
+(** Running mean/variance accumulator (Welford). *)
+module Running : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  val variance : t -> float
+  val stddev : t -> float
+  val min : t -> float
+  val max : t -> float
+  val reset : t -> unit
+end
+
+(** Bounded reservoir for percentile estimation (uniform reservoir
+    sampling, Vitter's Algorithm R). Deterministic given its [Rng.t]. *)
+module Reservoir : sig
+  type t
+
+  val create : ?capacity:int -> Rng.t -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  (** Total number of samples offered, not just those retained. *)
+
+  val percentile : t -> float -> float
+  (** [percentile t 95.0] — linear interpolation between order
+      statistics; 0 if empty. *)
+
+  val mean : t -> float
+  val reset : t -> unit
+end
+
+val percentile_of_sorted : float array -> float -> float
+(** [percentile_of_sorted sorted p] with [p] in [0,100]. *)
+
+val mean_of : float list -> float
+val cosine_similarity : float array -> float array -> float
+(** Cosine of the angle between two equal-length vectors; 0 when either
+    vector is all-zero. *)

@@ -1,0 +1,24 @@
+(** Plain-text table rendering for the benchmark harness.
+
+    The harness prints each paper figure/table as an aligned textual
+    table (series name per row, x-axis values per column), mimicking the
+    rows the paper reports. *)
+
+type t
+
+val create : title:string -> columns:string list -> t
+(** A table titled [title] whose header row is [columns]. *)
+
+val add_row : t -> string list -> unit
+(** Rows shorter than the header are right-padded with empty cells. *)
+
+val render : t -> string
+(** Render with column-aligned padding, title, and a rule line. *)
+
+val print : t -> unit
+(** [render] to stdout followed by a blank line. *)
+
+val cell_float : ?decimals:int -> float -> string
+(** Format a float for a cell ([decimals] defaults to 1). *)
+
+val cell_int : int -> string

@@ -1,0 +1,56 @@
+type t = {
+  interval : float;
+  mutable buckets : float array;
+  mutable highest : int; (* largest touched bucket index, -1 if none *)
+}
+
+let create ~interval =
+  assert (interval > 0.0);
+  { interval; buckets = Array.make 64 0.0; highest = -1 }
+
+let interval t = t.interval
+
+let ensure t i =
+  let cap = Array.length t.buckets in
+  if i >= cap then (
+    let ncap = ref cap in
+    while i >= !ncap do
+      ncap := !ncap * 2
+    done;
+    let nb = Array.make !ncap 0.0 in
+    Array.blit t.buckets 0 nb 0 cap;
+    t.buckets <- nb)
+
+let index_of t time =
+  let i = int_of_float (Float.floor (time /. t.interval)) in
+  if i < 0 then 0 else i
+
+let add t ~time v =
+  let i = index_of t time in
+  ensure t i;
+  t.buckets.(i) <- t.buckets.(i) +. v;
+  if i > t.highest then t.highest <- i
+
+let incr t ~time = add t ~time 1.0
+let bucket_count t = t.highest + 1
+let get t i = if i < 0 || i > t.highest then 0.0 else t.buckets.(i)
+let to_array t = Array.sub t.buckets 0 (bucket_count t)
+
+let last_n t n =
+  let out = Array.make n 0.0 in
+  let total = bucket_count t in
+  for k = 0 to n - 1 do
+    let i = total - n + k in
+    if i >= 0 then out.(k) <- get t i
+  done;
+  out
+
+let range t ~lo ~hi =
+  Array.init (Stdlib.max 0 (hi - lo + 1)) (fun i -> get t (lo + i))
+
+let sum_range t lo hi =
+  let acc = ref 0.0 in
+  for i = Stdlib.max 0 lo to Stdlib.min hi t.highest do
+    acc := !acc +. t.buckets.(i)
+  done;
+  !acc

@@ -1,0 +1,41 @@
+(** Fixed-interval time-series accumulator.
+
+    Buckets samples by simulated time so experiments can report
+    per-second throughput curves (Figs. 8, 10, 12) and the predictor can
+    maintain arrival-rate histories (Eq. 5 of the paper). *)
+
+type t
+
+val create : interval:float -> t
+(** [create ~interval] buckets by [interval] units of time (the
+    simulator uses microseconds, so one second is [1e6]). *)
+
+val interval : t -> float
+
+val add : t -> time:float -> float -> unit
+(** [add t ~time v] accumulates [v] into [time]'s bucket. Times may
+    arrive out of order; negative times are clamped to bucket 0. *)
+
+val incr : t -> time:float -> unit
+(** [incr t ~time] is [add t ~time 1.0] — the common counting use. *)
+
+val bucket_count : t -> int
+(** Number of buckets from 0 through the latest touched bucket. *)
+
+val get : t -> int -> float
+(** Value of bucket [i]; 0 for untouched or out-of-range buckets. *)
+
+val to_array : t -> float array
+(** All buckets, 0 .. latest. *)
+
+val last_n : t -> int -> float array
+(** The trailing [n] buckets (zero-padded on the left if fewer exist). *)
+
+val range : t -> lo:int -> hi:int -> float array
+(** Buckets [lo..hi] inclusive, zero-padded outside the touched span.
+    Used to read a window that excludes the current, partially-filled
+    bucket. *)
+
+val sum_range : t -> int -> int -> float
+(** [sum_range t lo hi] sums buckets [lo..hi] inclusive (Eq. 5's
+    ar(t,i) over a window). *)

@@ -1,0 +1,34 @@
+type norm = { mu : float; sigma : float }
+
+let fit_norm series =
+  let n = Array.length series in
+  if n = 0 then { mu = 0.0; sigma = 1.0 }
+  else (
+    let mu = Array.fold_left ( +. ) 0.0 series /. float_of_int n in
+    let var =
+      Array.fold_left (fun acc x -> acc +. ((x -. mu) *. (x -. mu))) 0.0 series
+      /. float_of_int n
+    in
+    { mu; sigma = Stdlib.max 1e-6 (sqrt var) })
+
+let normalize norm x = (x -. norm.mu) /. norm.sigma
+let denormalize norm x = (x *. norm.sigma) +. norm.mu
+
+let windows series ~window =
+  let n = Array.length series in
+  if n <= window then [||]
+  else
+    Array.init (n - window) (fun start ->
+        let seq = Array.init window (fun i -> [| series.(start + i) |]) in
+        (seq, series.(start + window)))
+
+let windows_normalized series ~window =
+  let norm = fit_norm series in
+  let normalized = Array.map (normalize norm) series in
+  (norm, windows normalized ~window)
+
+let last_window series ~window norm =
+  let n = Array.length series in
+  Array.init window (fun i ->
+      let idx = n - window + i in
+      [| (if idx >= 0 then normalize norm series.(idx) else normalize norm 0.0) |])

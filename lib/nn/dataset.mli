@@ -1,0 +1,27 @@
+(** Sliding-window dataset construction for series forecasting.
+
+    Builds (window → next value) samples from an arrival-rate series,
+    with z-score normalisation so the LSTM trains on well-scaled inputs
+    regardless of the absolute transaction rate. *)
+
+type norm = { mu : float; sigma : float }
+
+val fit_norm : float array -> norm
+(** Mean/stddev of a series; sigma is floored at a small epsilon. *)
+
+val normalize : norm -> float -> float
+val denormalize : norm -> float -> float
+
+val windows : float array -> window:int -> (float array array * float) array
+(** [windows series ~window] yields one sample per position: the
+    [window] preceding values (each wrapped as a 1-feature vector) and
+    the value that follows. Empty if the series is shorter than
+    [window + 1]. *)
+
+val windows_normalized :
+  float array -> window:int -> norm * (float array array * float) array
+(** Fit a norm on the series, then produce normalised windows. *)
+
+val last_window : float array -> window:int -> norm -> float array array
+(** The trailing [window] values, normalised — the input used to
+    forecast the next period. Zero-padded on the left if short. *)

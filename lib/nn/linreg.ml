@@ -1,0 +1,79 @@
+type t = { window : int; mutable w : float array; mutable b : float }
+
+let create ~window = { window; w = Array.make window 0.0; b = 0.0 }
+
+let flatten seq = Array.map (fun v -> v.(0)) seq
+
+(* Ridge-damped normal equations solved by Gaussian elimination on the
+   (window+1)-sized augmented system — tiny, so no numerics library. *)
+let fit t samples =
+  let d = t.window + 1 in
+  let a = Array.make_matrix d d 0.0 in
+  let rhs = Array.make d 0.0 in
+  Array.iter
+    (fun (seq, y) ->
+      let x = flatten seq in
+      let xs = Array.append x [| 1.0 |] in
+      for i = 0 to d - 1 do
+        rhs.(i) <- rhs.(i) +. (xs.(i) *. y);
+        for j = 0 to d - 1 do
+          a.(i).(j) <- a.(i).(j) +. (xs.(i) *. xs.(j))
+        done
+      done)
+    samples;
+  for i = 0 to d - 1 do
+    a.(i).(i) <- a.(i).(i) +. 1e-3
+  done;
+  (* Gaussian elimination with partial pivoting. *)
+  for col = 0 to d - 1 do
+    let pivot = ref col in
+    for row = col + 1 to d - 1 do
+      if Float.abs a.(row).(col) > Float.abs a.(!pivot).(col) then pivot := row
+    done;
+    if !pivot <> col then (
+      let tmp = a.(col) in
+      a.(col) <- a.(!pivot);
+      a.(!pivot) <- tmp;
+      let tr = rhs.(col) in
+      rhs.(col) <- rhs.(!pivot);
+      rhs.(!pivot) <- tr);
+    let diag = a.(col).(col) in
+    if Float.abs diag > 1e-12 then
+      for row = col + 1 to d - 1 do
+        let factor = a.(row).(col) /. diag in
+        if factor <> 0.0 then (
+          for j = col to d - 1 do
+            a.(row).(j) <- a.(row).(j) -. (factor *. a.(col).(j))
+          done;
+          rhs.(row) <- rhs.(row) -. (factor *. rhs.(col)))
+      done
+  done;
+  let sol = Array.make d 0.0 in
+  for row = d - 1 downto 0 do
+    let acc = ref rhs.(row) in
+    for j = row + 1 to d - 1 do
+      acc := !acc -. (a.(row).(j) *. sol.(j))
+    done;
+    sol.(row) <- (if Float.abs a.(row).(row) > 1e-12 then !acc /. a.(row).(row) else 0.0)
+  done;
+  t.w <- Array.sub sol 0 t.window;
+  t.b <- sol.(t.window)
+
+let predict t seq =
+  let x = flatten seq in
+  let acc = ref t.b in
+  for i = 0 to Stdlib.min (Array.length x) t.window - 1 do
+    acc := !acc +. (t.w.(i) *. x.(i))
+  done;
+  !acc
+
+let mse t samples =
+  if Array.length samples = 0 then 0.0
+  else (
+    let total = ref 0.0 in
+    Array.iter
+      (fun (seq, y) ->
+        let e = predict t seq -. y in
+        total := !total +. (e *. e))
+      samples;
+    !total /. float_of_int (Array.length samples))

@@ -1,0 +1,14 @@
+(** Ordinary least squares over the window — the simplest forecasting
+    baseline the paper dismisses (§IV-C1). Fits y = w·x + b on the
+    window vectors by the normal equations with ridge damping. *)
+
+type t
+
+val create : window:int -> t
+
+val fit : t -> (float array array * float) array -> unit
+(** Fit on (window, next-value) samples; windows are the same
+    1-feature-per-step sequences the neural models take. *)
+
+val predict : t -> float array array -> float
+val mse : t -> (float array array * float) array -> float

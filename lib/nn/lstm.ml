@@ -1,0 +1,253 @@
+open Matrix
+module Rng = Lion_kernel.Rng
+
+(* Gate layout inside the fused 4H pre-activation vector. *)
+let gi = 0
+
+type layer = {
+  wx : mat; (* 4H x input *)
+  wh : mat; (* 4H x H *)
+  b : float array; (* 4H *)
+}
+
+type t = {
+  layer_params : layer array;
+  wy : mat; (* 1 x H *)
+  by : float array; (* 1 *)
+  hidden : int;
+  input : int;
+  (* Adam slots, one pair of moment arrays per parameter array, in the
+     order produced by [param_arrays]. *)
+  m : float array array;
+  v : float array array;
+  mutable steps : int;
+}
+
+let param_arrays t =
+  let per_layer =
+    Array.to_list t.layer_params
+    |> List.concat_map (fun l -> [ l.wx.data; l.wh.data; l.b ])
+  in
+  per_layer @ [ t.wy.data; t.by ]
+
+let create ?(seed = 3) ?(layers = 2) ?(hidden = 20) ~input () =
+  assert (layers >= 1 && hidden >= 1 && input >= 1);
+  let rng = Rng.create seed in
+  let mk_layer l =
+    let n_in = if l = 0 then input else hidden in
+    {
+      wx = xavier rng (4 * hidden) n_in;
+      wh = xavier rng (4 * hidden) hidden;
+      b =
+        (* Forget-gate bias starts at 1.0, the standard trick for
+           gradient flow on short training budgets. *)
+        Array.init (4 * hidden) (fun i ->
+            if i >= hidden && i < 2 * hidden then 1.0 else 0.0);
+    }
+  in
+  let layer_params = Array.init layers mk_layer in
+  let t0 =
+    {
+      layer_params;
+      wy = xavier rng 1 hidden;
+      by = Array.make 1 0.0;
+      hidden;
+      input;
+      m = [||];
+      v = [||];
+      steps = 0;
+    }
+  in
+  let shapes = param_arrays t0 in
+  {
+    t0 with
+    m = Array.of_list (List.map (fun a -> Array.make (Array.length a) 0.0) shapes);
+    v = Array.of_list (List.map (fun a -> Array.make (Array.length a) 0.0) shapes);
+  }
+
+let layers t = Array.length t.layer_params
+let hidden t = t.hidden
+
+(* Per-timestep, per-layer forward cache needed by BPTT. *)
+type cache = {
+  x : float array;
+  i : float array;
+  f : float array;
+  g : float array;
+  o : float array;
+  c : float array;
+  h : float array;
+  c_prev : float array;
+  h_prev : float array;
+  tanh_c : float array;
+}
+
+let step_layer t l ~x ~h_prev ~c_prev =
+  let hdim = t.hidden in
+  let lp = t.layer_params.(l) in
+  let z = matvec lp.wx x in
+  let zh = matvec lp.wh h_prev in
+  for k = 0 to (4 * hdim) - 1 do
+    z.(k) <- z.(k) +. zh.(k) +. lp.b.(k)
+  done;
+  let i = Array.init hdim (fun k -> sigmoid z.(gi + k)) in
+  let f = Array.init hdim (fun k -> sigmoid z.(hdim + k)) in
+  let g = Array.init hdim (fun k -> tanh z.((2 * hdim) + k)) in
+  let o = Array.init hdim (fun k -> sigmoid z.((3 * hdim) + k)) in
+  let c = Array.init hdim (fun k -> (f.(k) *. c_prev.(k)) +. (i.(k) *. g.(k))) in
+  let tanh_c = Array.map tanh c in
+  let h = Array.init hdim (fun k -> o.(k) *. tanh_c.(k)) in
+  { x; i; f; g; o; c; h; c_prev; h_prev; tanh_c }
+
+let forward t seq =
+  let nl = layers t in
+  let hdim = t.hidden in
+  let steps = Array.length seq in
+  assert (steps > 0);
+  let dummy =
+    let z = Array.make hdim 0.0 in
+    { x = z; i = z; f = z; g = z; o = z; c = z; h = z; c_prev = z; h_prev = z; tanh_c = z }
+  in
+  let caches = Array.make_matrix steps nl dummy in
+  let h = Array.init nl (fun _ -> Array.make hdim 0.0) in
+  let c = Array.init nl (fun _ -> Array.make hdim 0.0) in
+  for ti = 0 to steps - 1 do
+    let x = ref seq.(ti) in
+    for l = 0 to nl - 1 do
+      let cache = step_layer t l ~x:!x ~h_prev:h.(l) ~c_prev:c.(l) in
+      caches.(ti).(l) <- cache;
+      h.(l) <- cache.h;
+      c.(l) <- cache.c;
+      x := cache.h
+    done
+  done;
+  let y = (matvec t.wy h.(nl - 1)).(0) +. t.by.(0) in
+  (y, caches)
+
+let predict t seq = fst (forward t seq)
+
+(* Gradient containers mirroring the parameter layout. *)
+type grads = { dwx : mat array; dwh : mat array; db : float array array; dwy : mat; dby : float array }
+
+let zero_grads t =
+  {
+    dwx = Array.map (fun l -> zeros l.wx.rows l.wx.cols) t.layer_params;
+    dwh = Array.map (fun l -> zeros l.wh.rows l.wh.cols) t.layer_params;
+    db = Array.map (fun l -> Array.make (Array.length l.b) 0.0) t.layer_params;
+    dwy = zeros t.wy.rows t.wy.cols;
+    dby = Array.make 1 0.0;
+  }
+
+let grad_arrays g =
+  let per_layer =
+    Array.to_list (Array.mapi (fun i _ -> i) g.dwx)
+    |> List.concat_map (fun i -> [ g.dwx.(i).data; g.dwh.(i).data; g.db.(i) ])
+  in
+  per_layer @ [ g.dwy.data; g.dby ]
+
+let backward t caches ~dy =
+  let nl = layers t in
+  let hdim = t.hidden in
+  let steps = Array.length caches in
+  let g = zero_grads t in
+  (* dh/dc flowing backward through time, per layer. *)
+  let dh_next = Array.init nl (fun _ -> Array.make hdim 0.0) in
+  let dc_next = Array.init nl (fun _ -> Array.make hdim 0.0) in
+  (* Output head gradient lands on the top layer's last hidden state. *)
+  let top_h = caches.(steps - 1).(nl - 1).h in
+  outer_acc g.dwy [| dy |] top_h;
+  g.dby.(0) <- g.dby.(0) +. dy;
+  for k = 0 to hdim - 1 do
+    dh_next.(nl - 1).(k) <- dh_next.(nl - 1).(k) +. (get t.wy 0 k *. dy)
+  done;
+  for ti = steps - 1 downto 0 do
+    (* dx of an upper layer adds to the lower layer's dh at this t. *)
+    let dx_from_above = ref (Array.make 0 0.0) in
+    for l = nl - 1 downto 0 do
+      let cache = caches.(ti).(l) in
+      let dh = Array.copy dh_next.(l) in
+      if l < nl - 1 && Array.length !dx_from_above = hdim then
+        axpy 1.0 !dx_from_above dh;
+      let dc = Array.copy dc_next.(l) in
+      for k = 0 to hdim - 1 do
+        dc.(k) <- dc.(k) +. (dh.(k) *. cache.o.(k) *. dtanh_from_y cache.tanh_c.(k))
+      done;
+      let dz = Array.make (4 * hdim) 0.0 in
+      for k = 0 to hdim - 1 do
+        let d_o = dh.(k) *. cache.tanh_c.(k) in
+        let d_i = dc.(k) *. cache.g.(k) in
+        let d_f = dc.(k) *. cache.c_prev.(k) in
+        let d_g = dc.(k) *. cache.i.(k) in
+        dz.(gi + k) <- d_i *. dsigmoid_from_y cache.i.(k);
+        dz.(hdim + k) <- d_f *. dsigmoid_from_y cache.f.(k);
+        dz.((2 * hdim) + k) <- d_g *. dtanh_from_y cache.g.(k);
+        dz.((3 * hdim) + k) <- d_o *. dsigmoid_from_y cache.o.(k)
+      done;
+      outer_acc g.dwx.(l) dz cache.x;
+      outer_acc g.dwh.(l) dz cache.h_prev;
+      axpy 1.0 dz g.db.(l);
+      (* Propagate. *)
+      let lp = t.layer_params.(l) in
+      dx_from_above := matvec_t lp.wx dz;
+      dh_next.(l) <- matvec_t lp.wh dz;
+      for k = 0 to hdim - 1 do
+        dc_next.(l).(k) <- dc.(k) *. cache.f.(k)
+      done
+    done
+  done;
+  g
+
+let adam_update t grads ~lr =
+  t.steps <- t.steps + 1;
+  let beta1 = 0.9 and beta2 = 0.999 and eps = 1e-8 in
+  let step = float_of_int t.steps in
+  let bc1 = 1.0 -. (beta1 ** step) and bc2 = 1.0 -. (beta2 ** step) in
+  let params = param_arrays t and gs = grad_arrays grads in
+  List.iteri
+    (fun idx (p, gr) ->
+      clip_in 5.0 gr;
+      let m = t.m.(idx) and v = t.v.(idx) in
+      for i = 0 to Array.length p - 1 do
+        m.(i) <- (beta1 *. m.(i)) +. ((1.0 -. beta1) *. gr.(i));
+        v.(i) <- (beta2 *. v.(i)) +. ((1.0 -. beta2) *. gr.(i) *. gr.(i));
+        let mh = m.(i) /. bc1 and vh = v.(i) /. bc2 in
+        p.(i) <- p.(i) -. (lr *. mh /. (sqrt vh +. eps))
+      done)
+    (List.combine params gs)
+
+let train_sample t ~seq ~target ~lr =
+  let y, caches = forward t seq in
+  let err = y -. target in
+  let grads = backward t caches ~dy:err in
+  adam_update t grads ~lr;
+  err *. err
+
+let train t samples ~epochs ~lr =
+  let last = ref 0.0 in
+  for _ = 1 to epochs do
+    let total = ref 0.0 in
+    Array.iter
+      (fun (seq, target) -> total := !total +. train_sample t ~seq ~target ~lr)
+      samples;
+    last := !total /. float_of_int (max 1 (Array.length samples))
+  done;
+  !last
+
+let mse t samples =
+  if Array.length samples = 0 then 0.0
+  else (
+    let total = ref 0.0 in
+    Array.iter
+      (fun (seq, target) ->
+        let e = predict t seq -. target in
+        total := !total +. (e *. e))
+      samples;
+    !total /. float_of_int (Array.length samples))
+
+module For_testing = struct
+  let param_arrays = param_arrays
+
+  let gradients t ~seq ~target =
+    let y, caches = forward t seq in
+    grad_arrays (backward t caches ~dy:(2.0 *. (y -. target)))
+end

@@ -1,0 +1,41 @@
+(** Stacked LSTM for univariate time-series forecasting, from scratch.
+
+    Matches the paper's forecasting model (§VI-A): a lightweight
+    2-layer LSTM with 20 hidden units trained on the preceding
+    ten-period arrival-rate history, cheap enough to train on a CPU.
+    Training is truncated-BPTT over full (short) windows with per-sample
+    Adam updates and gradient clipping. *)
+
+type t
+
+val create : ?seed:int -> ?layers:int -> ?hidden:int -> input:int -> unit -> t
+(** Defaults: [layers = 2], [hidden = 20]. [input] is the feature count
+    per timestep (1 for a single arrival-rate series). *)
+
+val layers : t -> int
+val hidden : t -> int
+
+val predict : t -> float array array -> float
+(** [predict t seq] runs the sequence (time-major, each element a
+    feature vector of length [input]) and returns the scalar forecast. *)
+
+val train_sample : t -> seq:float array array -> target:float -> lr:float -> float
+(** One stochastic step; returns the squared error before the update. *)
+
+val train : t -> (float array array * float) array -> epochs:int -> lr:float -> float
+(** Epoch-wise pass over all samples; returns the mean squared error of
+    the final epoch. *)
+
+val mse : t -> (float array array * float) array -> float
+(** Mean squared prediction error over a sample set (no updates). *)
+
+(** Internals exposed for the numerical gradient-check test. *)
+module For_testing : sig
+  val param_arrays : t -> float array list
+  (** The live parameter buffers, in a fixed order; mutating them
+      perturbs the model. *)
+
+  val gradients : t -> seq:float array array -> target:float -> float array list
+  (** Analytic BPTT gradients of the squared error, in the same order
+      as [param_arrays]; no parameter update is performed. *)
+end

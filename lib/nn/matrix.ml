@@ -1,0 +1,78 @@
+type mat = { rows : int; cols : int; data : float array }
+
+let zeros rows cols = { rows; cols; data = Array.make (rows * cols) 0.0 }
+
+let of_fun rows cols f =
+  let data = Array.make (rows * cols) 0.0 in
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      data.((i * cols) + j) <- f i j
+    done
+  done;
+  { rows; cols; data }
+
+let copy_mat m = { m with data = Array.copy m.data }
+let get m i j = m.data.((i * m.cols) + j)
+let set m i j v = m.data.((i * m.cols) + j) <- v
+
+let xavier rng rows cols =
+  let bound = sqrt (6.0 /. float_of_int (rows + cols)) in
+  of_fun rows cols (fun _ _ -> Lion_kernel.Rng.float rng (2.0 *. bound) -. bound)
+
+let matvec a x =
+  assert (Array.length x = a.cols);
+  let y = Array.make a.rows 0.0 in
+  for i = 0 to a.rows - 1 do
+    let base = i * a.cols in
+    let acc = ref 0.0 in
+    for j = 0 to a.cols - 1 do
+      acc := !acc +. (a.data.(base + j) *. x.(j))
+    done;
+    y.(i) <- !acc
+  done;
+  y
+
+let matvec_t a x =
+  assert (Array.length x = a.rows);
+  let y = Array.make a.cols 0.0 in
+  for i = 0 to a.rows - 1 do
+    let base = i * a.cols in
+    let xi = x.(i) in
+    if xi <> 0.0 then
+      for j = 0 to a.cols - 1 do
+        y.(j) <- y.(j) +. (a.data.(base + j) *. xi)
+      done
+  done;
+  y
+
+let outer_acc a u v =
+  assert (Array.length u = a.rows && Array.length v = a.cols);
+  for i = 0 to a.rows - 1 do
+    let base = i * a.cols in
+    let ui = u.(i) in
+    if ui <> 0.0 then
+      for j = 0 to a.cols - 1 do
+        a.data.(base + j) <- a.data.(base + j) +. (ui *. v.(j))
+      done
+  done
+
+let axpy alpha x y =
+  assert (Array.length x = Array.length y);
+  for i = 0 to Array.length x - 1 do
+    y.(i) <- y.(i) +. (alpha *. x.(i))
+  done
+
+let scale_in alpha x =
+  for i = 0 to Array.length x - 1 do
+    x.(i) <- x.(i) *. alpha
+  done
+
+let fill_zero x = Array.fill x 0 (Array.length x) 0.0
+let sigmoid x = 1.0 /. (1.0 +. exp (-.x))
+let dsigmoid_from_y y = y *. (1.0 -. y)
+let dtanh_from_y y = 1.0 -. (y *. y)
+
+let clip_in c x =
+  for i = 0 to Array.length x - 1 do
+    if x.(i) > c then x.(i) <- c else if x.(i) < -.c then x.(i) <- -.c
+  done

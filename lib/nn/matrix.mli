@@ -1,0 +1,40 @@
+(** Dense float kernels used by the LSTM: flat row-major matrices.
+
+    These are deliberately simple loops — the model is tiny (2 layers ×
+    20 hidden units, per the paper) so clarity beats blocking tricks. *)
+
+type mat = { rows : int; cols : int; data : float array }
+
+val zeros : int -> int -> mat
+val of_fun : int -> int -> (int -> int -> float) -> mat
+val copy_mat : mat -> mat
+val get : mat -> int -> int -> float
+val set : mat -> int -> int -> float -> unit
+
+val xavier : Lion_kernel.Rng.t -> int -> int -> mat
+(** Glorot-uniform initialisation. *)
+
+val matvec : mat -> float array -> float array
+(** [matvec a x] = A·x. Requires [Array.length x = a.cols]. *)
+
+val matvec_t : mat -> float array -> float array
+(** Aᵀ·x. Requires [Array.length x = a.rows]. *)
+
+val outer_acc : mat -> float array -> float array -> unit
+(** [outer_acc a u v] does A += u·vᵀ (gradient accumulation). *)
+
+val axpy : float -> float array -> float array -> unit
+(** y += alpha * x, in place on [y]. *)
+
+val scale_in : float -> float array -> unit
+val fill_zero : float array -> unit
+
+val sigmoid : float -> float
+val dsigmoid_from_y : float -> float
+(** Derivative expressed from the activation value y = σ(x). *)
+
+val dtanh_from_y : float -> float
+(** 1 - y² where y = tanh(x). *)
+
+val clip_in : float -> float array -> unit
+(** Clamp each element to [-c, c] (gradient clipping). *)

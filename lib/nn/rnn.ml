@@ -1,0 +1,126 @@
+open Matrix
+module Rng = Lion_kernel.Rng
+
+type t = {
+  wx : mat; (* H x input *)
+  wh : mat; (* H x H *)
+  b : float array; (* H *)
+  wy : mat; (* 1 x H *)
+  by : float array;
+  hidden_size : int;
+  m : float array array;
+  v : float array array;
+  mutable steps : int;
+}
+
+let params t = [ t.wx.data; t.wh.data; t.b; t.wy.data; t.by ]
+
+let create ?(seed = 13) ?(hidden = 20) ~input () =
+  let rng = Rng.create seed in
+  let t0 =
+    {
+      wx = xavier rng hidden input;
+      wh = xavier rng hidden hidden;
+      b = Array.make hidden 0.0;
+      wy = xavier rng 1 hidden;
+      by = Array.make 1 0.0;
+      hidden_size = hidden;
+      m = [||];
+      v = [||];
+      steps = 0;
+    }
+  in
+  let shapes = params t0 in
+  {
+    t0 with
+    m = Array.of_list (List.map (fun a -> Array.make (Array.length a) 0.0) shapes);
+    v = Array.of_list (List.map (fun a -> Array.make (Array.length a) 0.0) shapes);
+  }
+
+let hidden t = t.hidden_size
+
+type cache = { x : float array; h : float array; h_prev : float array }
+
+let forward t seq =
+  let hdim = t.hidden_size in
+  let steps = Array.length seq in
+  assert (steps > 0);
+  let caches = Array.make steps { x = [||]; h = [||]; h_prev = [||] } in
+  let h = ref (Array.make hdim 0.0) in
+  for ti = 0 to steps - 1 do
+    let z = matvec t.wx seq.(ti) in
+    let zh = matvec t.wh !h in
+    let nh = Array.init hdim (fun k -> tanh (z.(k) +. zh.(k) +. t.b.(k))) in
+    caches.(ti) <- { x = seq.(ti); h = nh; h_prev = !h };
+    h := nh
+  done;
+  ((matvec t.wy !h).(0) +. t.by.(0), caches)
+
+let predict t seq = fst (forward t seq)
+
+let backward t caches ~dy =
+  let hdim = t.hidden_size in
+  let steps = Array.length caches in
+  let dwx = zeros t.wx.rows t.wx.cols in
+  let dwh = zeros t.wh.rows t.wh.cols in
+  let db = Array.make hdim 0.0 in
+  let dwy = zeros 1 hdim in
+  let dby = [| dy |] in
+  let dh = Array.make hdim 0.0 in
+  outer_acc dwy [| dy |] caches.(steps - 1).h;
+  for k = 0 to hdim - 1 do
+    dh.(k) <- get t.wy 0 k *. dy
+  done;
+  let dh = ref dh in
+  for ti = steps - 1 downto 0 do
+    let c = caches.(ti) in
+    let dz = Array.init hdim (fun k -> !dh.(k) *. dtanh_from_y c.h.(k)) in
+    outer_acc dwx dz c.x;
+    outer_acc dwh dz c.h_prev;
+    axpy 1.0 dz db;
+    dh := matvec_t t.wh dz
+  done;
+  [ dwx.data; dwh.data; db; dwy.data; dby ]
+
+let adam_update t grads ~lr =
+  t.steps <- t.steps + 1;
+  let beta1 = 0.9 and beta2 = 0.999 and eps = 1e-8 in
+  let step = float_of_int t.steps in
+  let bc1 = 1.0 -. (beta1 ** step) and bc2 = 1.0 -. (beta2 ** step) in
+  List.iteri
+    (fun idx (p, gr) ->
+      clip_in 5.0 gr;
+      let m = t.m.(idx) and v = t.v.(idx) in
+      for i = 0 to Array.length p - 1 do
+        m.(i) <- (beta1 *. m.(i)) +. ((1.0 -. beta1) *. gr.(i));
+        v.(i) <- (beta2 *. v.(i)) +. ((1.0 -. beta2) *. gr.(i) *. gr.(i));
+        let mh = m.(i) /. bc1 and vh = v.(i) /. bc2 in
+        p.(i) <- p.(i) -. (lr *. mh /. (sqrt vh +. eps))
+      done)
+    (List.combine (params t) grads)
+
+let train_sample t ~seq ~target ~lr =
+  let y, caches = forward t seq in
+  let err = y -. target in
+  adam_update t (backward t caches ~dy:err) ~lr;
+  err *. err
+
+let train t samples ~epochs ~lr =
+  let last = ref 0.0 in
+  for _ = 1 to epochs do
+    let total = ref 0.0 in
+    Array.iter (fun (seq, target) -> total := !total +. train_sample t ~seq ~target ~lr) samples;
+    last := !total /. float_of_int (Stdlib.max 1 (Array.length samples))
+  done;
+  !last
+
+let mse t samples =
+  if Array.length samples = 0 then 0.0
+  else (
+    let total = ref 0.0 in
+    Array.iter
+      (fun (seq, target) ->
+        let e = predict t seq -. target in
+        total := !total +. (e *. e))
+      samples;
+    !total /. float_of_int (Array.length samples))

@@ -1,0 +1,24 @@
+(** Vanilla (Elman) RNN baseline for the forecaster comparison.
+
+    The paper argues (§IV-C1) that "traditional RNNs struggle to
+    effectively capture long-term dependencies … within sequences";
+    this implementation exists so the claim can be measured — see the
+    [abl_forecaster] benchmark, which compares LSTM, RNN and linear
+    regression on the workloads' arrival-rate series. Same interface
+    shape as {!Lstm}: scalar regression over a univariate window. *)
+
+type t
+
+val create : ?seed:int -> ?hidden:int -> input:int -> unit -> t
+(** Default [hidden] 20, tanh recurrence, linear output head. *)
+
+val hidden : t -> int
+
+val predict : t -> float array array -> float
+
+val train_sample : t -> seq:float array array -> target:float -> lr:float -> float
+(** One BPTT step (full window); returns pre-update squared error. *)
+
+val train : t -> (float array array * float) array -> epochs:int -> lr:float -> float
+
+val mse : t -> (float array array * float) array -> float

@@ -1,0 +1,104 @@
+module Stats = Lion_kernel.Stats
+module Rng = Lion_kernel.Rng
+
+type workload = {
+  class_id : int;
+  templates : Template.id list;
+  series : float array;
+  total : float;
+}
+
+type building = {
+  mutable members : Template.id list; (* reversed *)
+  centroid : float array;
+  mutable weight : float;
+}
+
+let add_to building ar total =
+  (* Running mean of member ar vectors, weighted by template heat, so a
+     hot template anchors its class's shape. *)
+  let w = building.weight +. total in
+  if w > 0.0 then
+    for i = 0 to Array.length building.centroid - 1 do
+      building.centroid.(i) <-
+        ((building.centroid.(i) *. building.weight) +. (ar.(i) *. total)) /. w
+    done;
+  building.weight <- w
+
+let classify ?upto registry ~window ~beta =
+  let classes : building list ref = ref [] in
+  let idle : Template.id list ref = ref [] in
+  List.iter
+    (fun id ->
+      let ar = Template.arrival_rate ?upto registry id ~window in
+      let total = Template.total_arrivals registry id in
+      let is_zero = Array.for_all (fun x -> x = 0.0) ar in
+      if is_zero then idle := id :: !idle
+      else (
+        let matching =
+          List.find_opt
+            (fun b ->
+              let sim = Stats.cosine_similarity b.centroid ar in
+              1.0 -. sim <= beta)
+            !classes
+        in
+        match matching with
+        | Some b ->
+            b.members <- id :: b.members;
+            add_to b ar total
+        | None ->
+            let b = { members = [ id ]; centroid = Array.copy ar; weight = 0.0 } in
+            b.weight <- total;
+            classes := !classes @ [ b ]))
+    (Template.ids registry);
+  let finalize i b =
+    let members = List.rev b.members in
+    let series = Array.make window 0.0 in
+    List.iter
+      (fun id ->
+        let ar = Template.arrival_rate ?upto registry id ~window in
+        for k = 0 to window - 1 do
+          series.(k) <- series.(k) +. ar.(k)
+        done)
+      members;
+    {
+      class_id = i;
+      templates =
+        List.sort
+          (fun a b ->
+            compare (Template.total_arrivals registry b) (Template.total_arrivals registry a))
+          members;
+      series;
+      total = List.fold_left (fun acc id -> acc +. Template.total_arrivals registry id) 0.0 members;
+    }
+  in
+  let live = List.mapi finalize !classes in
+  match !idle with
+  | [] -> live
+  | idle_members ->
+      live
+      @ [
+          {
+            class_id = List.length live;
+            templates = List.rev idle_members;
+            series = Array.make window 0.0;
+            total =
+              List.fold_left
+                (fun acc id -> acc +. Template.total_arrivals registry id)
+                0.0 idle_members;
+          };
+        ]
+
+let sample_templates workload registry ~rng ~k =
+  (* Weighted reservoir (A-Res, Efraimidis–Spirakis): key = u^(1/w). *)
+  let keyed =
+    List.map
+      (fun id ->
+        let w = Stdlib.max 1e-9 (Template.total_arrivals registry id) in
+        let u = Stdlib.max 1e-12 (Rng.float rng 1.0) in
+        (Float.pow u (1.0 /. w), id))
+      workload.templates
+  in
+  List.sort (fun (a, _) (b, _) -> compare b a) keyed
+  |> List.filteri (fun i _ -> i < k)
+  |> List.map snd

@@ -1,0 +1,23 @@
+(** Workload classification (§IV-C1): templates whose arrival rates
+    rise and fall together — cosine distance below a threshold β — are
+    merged into one workload class, so forecasting runs per class
+    instead of per template. *)
+
+type workload = {
+  class_id : int;
+  templates : Template.id list;  (** hottest first *)
+  series : float array;  (** summed arrival rate over the window *)
+  total : float;  (** summed arrivals of all member templates *)
+}
+
+val classify :
+  ?upto:int -> Template.t -> window:int -> beta:float -> workload list
+(** Greedy clustering: walk templates hottest-first; join the first
+    class whose centroid is within cosine distance [beta]
+    (distance = 1 - cosine similarity), else open a new class.
+    Templates with an all-zero window join a shared idle class. *)
+
+val sample_templates :
+  workload -> Template.t -> rng:Lion_kernel.Rng.t -> k:int -> Template.id list
+(** Reservoir-sample [k] member templates weighted by arrival counts —
+    the partitions likely to appear when the workload activates. *)

@@ -1,0 +1,73 @@
+module Lstm = Lion_nn.Lstm
+module Dataset = Lion_nn.Dataset
+
+type model = { net : Lstm.t; mutable trained : bool }
+
+type t = {
+  seed : int;
+  window : int;
+  epochs : int;
+  retrain_mse : float;
+  lr : float;
+  use_lstm : bool;
+  models : (int, model) Hashtbl.t;
+  mutable retrains : int;
+}
+
+let create ?(seed = 5) ?(window = 10) ?(epochs = 30) ?(retrain_mse = 0.25) ?(lr = 0.01)
+    ?(use_lstm = true) () =
+  { seed; window; epochs; retrain_mse; lr; use_lstm; models = Hashtbl.create 16; retrains = 0 }
+
+(* Trend extrapolation over the last few points: robust before the
+   model has data, and the only path when use_lstm is off. *)
+let naive series horizon =
+  let n = Array.length series in
+  if n = 0 then 0.0
+  else if n = 1 then series.(0)
+  else (
+    let last = series.(n - 1) and prev = series.(n - 2) in
+    Stdlib.max 0.0 (last +. (float_of_int horizon *. (last -. prev))))
+
+let get_model t key =
+  match Hashtbl.find_opt t.models key with
+  | Some m -> m
+  | None ->
+      let m = { net = Lstm.create ~seed:(t.seed + key) ~input:1 (); trained = false } in
+      Hashtbl.replace t.models key m;
+      m
+
+let max_training_samples = 64
+
+let forecast t ~key ~series ~horizon =
+  if (not t.use_lstm) || Array.length series < (2 * t.window) + 1 then naive series horizon
+  else (
+    let m = get_model t key in
+    let norm, samples = Dataset.windows_normalized series ~window:t.window in
+    let samples =
+      if Array.length samples > max_training_samples then
+        Array.sub samples
+          (Array.length samples - max_training_samples)
+          max_training_samples
+      else samples
+    in
+    let needs_training = (not m.trained) || Lstm.mse m.net samples > t.retrain_mse in
+    if needs_training && Array.length samples > 0 then (
+      ignore (Lstm.train m.net samples ~epochs:t.epochs ~lr:t.lr);
+      m.trained <- true;
+      t.retrains <- t.retrains + 1);
+    (* Iterated multi-step forecast: predict one bucket, append it to
+       the (raw-scale) history, repeat. *)
+    let extended = ref (Array.copy series) in
+    let pred_raw = ref 0.0 in
+    for _ = 1 to Stdlib.max 1 horizon do
+      let window_input = Dataset.last_window !extended ~window:t.window norm in
+      let pred = Lstm.predict m.net window_input in
+      pred_raw := Stdlib.max 0.0 (Dataset.denormalize norm pred);
+      extended := Array.append !extended [| !pred_raw |]
+    done;
+    !pred_raw)
+
+let trained_models t =
+  Hashtbl.fold (fun _ m acc -> if m.trained then acc + 1 else acc) t.models 0
+
+let retrain_count t = t.retrains

@@ -1,0 +1,31 @@
+(** Per-workload time-series forecasting (§IV-C1, "Time-series
+    Prediction").
+
+    One LSTM per workload class, keyed by a stable anchor (the class's
+    hottest template id). A model is (re)trained when it has no weights
+    yet or when its MSE on the recent history drifts above
+    [retrain_mse]; before enough history exists, a trend-extrapolation
+    fallback stands in, which matches a cold-started Lion. *)
+
+type t
+
+val create :
+  ?seed:int ->
+  ?window:int ->
+  ?epochs:int ->
+  ?retrain_mse:float ->
+  ?lr:float ->
+  ?use_lstm:bool ->
+  unit ->
+  t
+(** [window] defaults to 10 (the paper trains on the preceding ten
+    periods); [epochs] 30; [retrain_mse] 0.25 (on normalised data);
+    [use_lstm] false disables the neural path entirely (trend fallback
+    only) — used to bound benchmark wall-clock. *)
+
+val forecast : t -> key:int -> series:float array -> horizon:int -> float
+(** Predicted arrival rate [horizon] buckets ahead, never negative.
+    Multi-step forecasts feed predictions back as inputs. *)
+
+val trained_models : t -> int
+val retrain_count : t -> int

@@ -1,0 +1,80 @@
+module Timeseries = Lion_kernel.Timeseries
+
+type id = int
+
+type entry = {
+  parts : int list;
+  series : Timeseries.t;
+  mutable total : float;
+}
+
+type t = {
+  capacity : int;
+  interval : float;
+  by_parts : (int list, id) Hashtbl.t;
+  entries : (id, entry) Hashtbl.t;
+  mutable next_id : id;
+}
+
+let create ?(capacity = 4096) ~interval () =
+  {
+    capacity;
+    interval;
+    by_parts = Hashtbl.create 256;
+    entries = Hashtbl.create 256;
+    next_id = 0;
+  }
+
+let evict_coldest t =
+  let coldest = ref None in
+  Hashtbl.iter
+    (fun id e ->
+      match !coldest with
+      | Some (_, total) when total <= e.total -> ()
+      | _ -> coldest := Some (id, e.total))
+    t.entries;
+  match !coldest with
+  | None -> ()
+  | Some (id, _) ->
+      let e = Hashtbl.find t.entries id in
+      Hashtbl.remove t.by_parts e.parts;
+      Hashtbl.remove t.entries id
+
+let observe t ~time ~parts =
+  let parts = List.sort_uniq compare parts in
+  let id =
+    match Hashtbl.find_opt t.by_parts parts with
+    | Some id -> id
+    | None ->
+        if Hashtbl.length t.entries >= t.capacity then evict_coldest t;
+        let id = t.next_id in
+        t.next_id <- id + 1;
+        Hashtbl.replace t.by_parts parts id;
+        Hashtbl.replace t.entries id
+          { parts; series = Timeseries.create ~interval:t.interval; total = 0.0 };
+        id
+  in
+  let e = Hashtbl.find t.entries id in
+  Timeseries.incr e.series ~time;
+  e.total <- e.total +. 1.0;
+  id
+
+let parts_of t id = (Hashtbl.find t.entries id).parts
+let total_arrivals t id = (Hashtbl.find t.entries id).total
+
+let arrival_rate ?upto t id ~window =
+  let series = (Hashtbl.find t.entries id).series in
+  match upto with
+  | None -> Timeseries.last_n series window
+  | Some upto -> Timeseries.range series ~lo:(upto - window) ~hi:(upto - 1)
+
+let template_count t = Hashtbl.length t.entries
+
+let ids t =
+  Hashtbl.fold (fun id e acc -> (id, e.total) :: acc) t.entries []
+  |> List.sort (fun (ida, ta) (idb, tb) ->
+         let c = compare tb ta in
+         if c <> 0 then c else compare ida idb)
+  |> List.map fst
+
+let bucket_of_time t time = int_of_float (Float.floor (time /. t.interval))

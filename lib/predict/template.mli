@@ -1,0 +1,38 @@
+(** Template identification (§IV-C1).
+
+    Transactions accessing the same set of partitions share a label and
+    form one template; the predictor then tracks one arrival-rate
+    history per template instead of per query. The registry buckets
+    arrivals by a sampling interval (Eq. 5's i) and caps the number of
+    tracked templates, evicting the coldest when full. *)
+
+type id = int
+
+type t
+
+val create : ?capacity:int -> interval:float -> unit -> t
+(** [interval] is the arrival-rate sampling interval in simulated µs
+    (1 s by default usage). [capacity] caps distinct templates
+    (default 4096). *)
+
+val observe : t -> time:float -> parts:int list -> id
+(** Record one arrival of the template for the given partition set
+    (deduplicated, sorted internally) at [time]. *)
+
+val parts_of : t -> id -> int list
+val total_arrivals : t -> id -> float
+
+val arrival_rate : ?upto:int -> t -> id -> window:int -> float array
+(** The template's ar over [window] buckets ending at bucket [upto - 1]
+    (exclusive). Default [upto]: past the last touched bucket — note
+    that the final bucket is then partially filled; predictors should
+    pass [upto = bucket_of_time now] to exclude the in-progress bucket,
+    whose artificially low count would otherwise look like a workload
+    collapse every tick. *)
+
+val template_count : t -> int
+
+val ids : t -> id list
+(** Live template ids, ordered by descending total arrivals. *)
+
+val bucket_of_time : t -> float -> int

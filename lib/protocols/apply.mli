@@ -1,0 +1,6 @@
+(** Asynchronous application of a reconfiguration plan — the adaptor's
+    job (§III): replica additions run in the background; eager
+    remasters (when the plan requests them) follow the copy they depend
+    on. Transactions keep executing throughout. *)
+
+val apply : Lion_store.Cluster.t -> Lion_analysis.Plan.t -> unit

@@ -1,0 +1,14 @@
+(** Aria baseline (§VI-A2b): deterministic OLTP via optimistic write
+    reservations, no lock manager and no a-priori read/write sets.
+
+    Every transaction in the batch executes in parallel against the
+    epoch snapshot (cross-partition reads fetch remotely, stalling the
+    worker for a round trip), then reservations are checked: a
+    transaction aborts on a write-after-write or read-after-write
+    conflict with an earlier-reserved transaction and re-enters the next
+    batch. Contention — hot keys under skew, more multi-partition
+    footprints as the cross ratio grows — therefore translates into
+    repeated aborts, which is Aria's high-cross-ratio collapse and its
+    p95 latency tail (Figs. 9, 14). *)
+
+val create : Lion_store.Cluster.t -> Proto.t

@@ -1,0 +1,151 @@
+module Cluster = Lion_store.Cluster
+module Config = Lion_store.Config
+module Kvstore = Lion_store.Kvstore
+module Engine = Lion_sim.Engine
+module Network = Lion_sim.Network
+module Metrics = Lion_sim.Metrics
+module Txn = Lion_workload.Txn
+
+type verdict = { committed : bool; single_node : bool; remastered : bool }
+
+type epoch_result = {
+  verdicts : verdict array;
+  node_busy : float array;
+  serial_time : float;
+  barrier_time : float;
+  phase_split : (Metrics.phase * float) list;
+}
+
+let conflict_verdicts ?(include_raw = false) ?window ?footprint ~granule txns =
+  let window = match window with Some w -> Stdlib.max 1 w | None -> Array.length txns in
+  let footprint =
+    match footprint with
+    | Some f -> f
+    | None -> fun txn -> (Txn.write_keys txn, Txn.read_keys txn)
+  in
+  let reserved = Hashtbl.create 1024 in
+  let ok = Array.make (Array.length txns) true in
+  Array.iteri
+    (fun i txn ->
+      if i mod window = 0 then Hashtbl.reset reserved;
+      let write_keys, read_keys = footprint txn in
+      let writes = List.map granule write_keys in
+      let reads = List.map granule read_keys in
+      let conflict g =
+        match Hashtbl.find_opt reserved g with Some j -> j < i | None -> false
+      in
+      let doomed =
+        List.exists conflict writes || (include_raw && List.exists conflict reads)
+      in
+      if doomed then ok.(i) <- false
+      else
+        List.iter
+          (fun g -> if not (Hashtbl.mem reserved g) then Hashtbl.add reserved g i)
+          writes)
+    txns;
+  ok
+
+type request = {
+  txn : Txn.t;
+  enqueued : float;
+  mutable retries : int;
+  on_done : unit -> unit;
+}
+
+type state = {
+  cl : Cluster.t;
+  process : Txn.t array -> epoch_result;
+  max_retries : int;
+  buffer : request Queue.t;
+  carryover : request Queue.t;  (* aborted transactions, retried first *)
+  mutable running : bool;
+}
+
+(* Epoch commit barrier: the nodes agree to commit the epoch — a couple
+   of cross-node round trips regardless of batch size. *)
+let epoch_commit_cost cl = 4.0 *. Network.oneway_delay cl.Cluster.network ~bytes:64
+
+let scale_phases phase_split latency =
+  let total = List.fold_left (fun acc (_, w) -> acc +. w) 0.0 phase_split in
+  if total <= 0.0 then [ (Metrics.Execution, latency) ]
+  else List.map (fun (p, w) -> (p, latency *. w /. total)) phase_split
+
+let rec start_epoch st =
+  let cfg = st.cl.Cluster.cfg in
+  let batch_size = cfg.Config.batch_size in
+  let take () =
+    let out = ref [] in
+    let n = ref 0 in
+    while !n < batch_size && not (Queue.is_empty st.carryover) do
+      out := Queue.pop st.carryover :: !out;
+      incr n
+    done;
+    while !n < batch_size && not (Queue.is_empty st.buffer) do
+      out := Queue.pop st.buffer :: !out;
+      incr n
+    done;
+    Array.of_list (List.rev !out)
+  in
+  let requests = take () in
+  if Array.length requests = 0 then st.running <- false
+  else (
+    st.running <- true;
+    let txns = Array.map (fun r -> r.txn) requests in
+    let result = st.process txns in
+    assert (Array.length result.verdicts = Array.length txns);
+    let workers = float_of_int cfg.Config.workers_per_node in
+    let exec_time =
+      Array.fold_left (fun acc busy -> Stdlib.max acc (busy /. workers)) 0.0 result.node_busy
+    in
+    let duration =
+      result.serial_time +. exec_time +. result.barrier_time +. epoch_commit_cost st.cl
+    in
+    Engine.schedule st.cl.Cluster.engine ~delay:duration (fun () ->
+        let now = Engine.now st.cl.Cluster.engine in
+        Array.iteri
+          (fun i req ->
+            let v = result.verdicts.(i) in
+            let give_up = req.retries >= st.max_retries in
+            if v.committed || give_up then (
+              let latency = now -. req.enqueued in
+              Metrics.record_commit st.cl.Cluster.metrics ~latency
+                ~single_node:v.single_node ~remastered:v.remastered
+                ~phases:(scale_phases result.phase_split latency);
+              req.on_done ())
+            else (
+              Metrics.record_abort st.cl.Cluster.metrics;
+              req.retries <- req.retries + 1;
+              Queue.push req st.carryover))
+          requests;
+        if Queue.is_empty st.buffer && Queue.is_empty st.carryover then
+          st.running <- false
+        else start_epoch st))
+
+let maybe_start st =
+  if (not st.running) && Queue.length st.buffer + Queue.length st.carryover > 0 then
+    (* Defer to the event loop so all same-instant submissions land in
+       the same epoch. *)
+    Engine.schedule st.cl.Cluster.engine ~delay:0.0 (fun () ->
+        if not st.running then (
+          st.running <- true;
+          start_epoch st))
+
+let create cl ~name ~process ?(tick = fun () -> ()) ?(max_retries = 100) () =
+  let st =
+    {
+      cl;
+      process;
+      max_retries;
+      buffer = Queue.create ();
+      carryover = Queue.create ();
+      running = false;
+    }
+  in
+  let submit txn ~on_done =
+    Queue.push
+      { txn; enqueued = Engine.now cl.Cluster.engine; retries = 0; on_done }
+      st.buffer;
+    maybe_start st
+  in
+  let drain () = maybe_start st in
+  Proto.make ~name ~submit ~tick ~drain ()

@@ -1,0 +1,12 @@
+(** Calvin baseline (§VI-A2b): deterministic execution with a
+    single-threaded lock manager.
+
+    A sequencer fixes the batch order; the lock manager grants locks
+    serially (the [serial_time] term — Calvin's scalability ceiling,
+    visible in Fig. 11's plateau). Each transaction executes its
+    per-partition sub-transactions on the owning nodes; cross-partition
+    transactions stall their home worker on a remote-read round trip,
+    which the paper measures at over 90 % of Calvin's execution time.
+    Determinism avoids 2PC and aborts entirely. *)
+
+val create : Lion_store.Cluster.t -> Proto.t

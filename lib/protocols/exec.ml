@@ -1,0 +1,342 @@
+module Cluster = Lion_store.Cluster
+module Placement = Lion_store.Placement
+module Kvstore = Lion_store.Kvstore
+module Config = Lion_store.Config
+module Engine = Lion_sim.Engine
+module Network = Lion_sim.Network
+module Metrics = Lion_sim.Metrics
+module Rng = Lion_kernel.Rng
+module Txn = Lion_workload.Txn
+
+type flavor = {
+  remaster_secondary : bool;
+  migrate_on_access : bool;
+  unified_commit : bool;
+  read_at_secondary : bool;
+}
+
+let plain_2pc =
+  {
+    remaster_secondary = false;
+    migrate_on_access = false;
+    unified_commit = false;
+    read_at_secondary = false;
+  }
+
+let leap_flavor = { plain_2pc with migrate_on_access = true }
+let lion_flavor = { plain_2pc with remaster_secondary = true }
+let unified_flavor = { plain_2pc with unified_commit = true }
+
+(* Group a transaction's operations by partition, preserving first-
+   appearance order of partitions and op order within each group. *)
+let groups_of (txn : Txn.t) =
+  let order = ref [] in
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun op ->
+      let part = (Txn.key_of op).Kvstore.part in
+      (match Hashtbl.find_opt tbl part with
+      | Some ops -> Hashtbl.replace tbl part (op :: ops)
+      | None ->
+          Hashtbl.replace tbl part [ op ];
+          order := part :: !order))
+    txn.Txn.ops;
+  List.rev_map (fun part -> (part, List.rev (Hashtbl.find tbl part))) !order
+
+(* Ties break on a hash of the partition set so coordinators spread
+   across the tied nodes instead of piling onto one id. *)
+let route_most_primaries cl (txn : Txn.t) =
+  let placement = cl.Cluster.placement in
+  let nodes = Placement.nodes placement in
+  let best_count = ref (-1) in
+  for node = 0 to nodes - 1 do
+    if Cluster.alive cl node then (
+      let count = Placement.count_primaries_at placement txn.Txn.parts ~node in
+      if count > !best_count then best_count := count)
+  done;
+  let tied = ref [] in
+  for node = nodes - 1 downto 0 do
+    if
+      Cluster.alive cl node
+      && Placement.count_primaries_at placement txn.Txn.parts ~node = !best_count
+    then tied := node :: !tied
+  done;
+  match !tied with
+  | [] -> invalid_arg "route_most_primaries: no live node"
+  | [ n ] -> n
+  | candidates -> List.nth candidates (Hashtbl.hash txn.Txn.parts mod List.length candidates)
+
+type result = {
+  committed : bool;
+  single_node : bool;
+  remastered : bool;
+  phases : (Metrics.phase * float) list;
+}
+
+let record_ops session ops =
+  List.iter
+    (function
+      | Txn.Read k -> Kvstore.read session k
+      | Txn.Write k -> Kvstore.write session k)
+    ops
+
+(* Leap-style aggressive mastership pull: ownership (and the accessed
+   tuples) move to the coordinator before the operation executes. *)
+let leap_migration_overhead = 200.0
+
+let attempt cl ~coordinator ~txn ~flavor ~k =
+  let cfg = cl.Cluster.cfg in
+  let engine = cl.Cluster.engine in
+  let placement = cl.Cluster.placement in
+  Cluster.acquire_worker cl ~node:coordinator (fun lease ->
+      let session = Kvstore.begin_session cl.Cluster.store in
+      let exec_start = Engine.now engine in
+      let remaster_time = ref 0.0 in
+      let used_remaster = ref false in
+      let remote_parts = ref [] in
+      let rec step groups k_done =
+        match groups with
+        | [] -> k_done ()
+        | (part, ops) :: rest ->
+            Cluster.touch_partition cl part;
+            let n_ops = List.length ops in
+            let local_work = float_of_int n_ops *. cfg.Config.local_op_cost in
+            let after_exec () = step rest k_done in
+            let execute_locally () =
+              record_ops session ops;
+              Engine.schedule engine ~delay:local_work after_exec
+            in
+            let execute_remote () =
+              remote_parts := part :: !remote_parts;
+              let prim = Placement.primary placement part in
+              Cluster.rpc cl ~src:coordinator ~dst:prim
+                ~bytes:(cfg.Config.op_msg_bytes * n_ops)
+                ~work:(local_work +. cfg.Config.msg_handle_cost)
+                (fun () ->
+                  record_ops session ops;
+                  after_exec ())
+            in
+            let all_reads = List.for_all (fun op -> not (Txn.is_write op)) ops in
+            let proceed () =
+              if Placement.has_primary placement ~part ~node:coordinator then
+                execute_locally ()
+              else if
+                flavor.read_at_secondary && all_reads
+                && Placement.has_secondary placement ~part ~node:coordinator
+              then
+                (* Bounded-staleness read served by the local secondary:
+                   no promotion, no round trip. *)
+                execute_locally ()
+              else if
+                flavor.remaster_secondary
+                && Placement.has_secondary placement ~part ~node:coordinator
+              then
+                if Cluster.try_begin_remaster cl ~part ~node:coordinator then (
+                  used_remaster := true;
+                  let t0 = Engine.now engine in
+                  Engine.schedule engine ~delay:cfg.Config.remaster_delay (fun () ->
+                      remaster_time := !remaster_time +. (Engine.now engine -. t0);
+                      execute_locally ()))
+                else
+                  (* Remastering conflict: another transaction is
+                     promoting this partition — fall back to 2PC. *)
+                  execute_remote ()
+              else if flavor.migrate_on_access then (
+                used_remaster := true;
+                let prim = Placement.primary placement part in
+                let bytes = n_ops * cfg.Config.record_bytes in
+                let delay =
+                  Network.roundtrip cl.Cluster.network ~bytes +. leap_migration_overhead
+                in
+                (* Migration blocks concurrent transactions on the
+                   partition for the transfer (§II-B). *)
+                Cluster.block_partition_for cl ~part ~duration:delay;
+                Network.send cl.Cluster.network ~src:prim ~dst:coordinator ~bytes
+                  (fun () -> ());
+                let t0 = Engine.now engine in
+                Engine.schedule engine ~delay (fun () ->
+                    remaster_time := !remaster_time +. (Engine.now engine -. t0);
+                    if not (Placement.has_replica placement ~part ~node:coordinator) then (
+                      if
+                        Placement.replica_count placement part
+                        >= Placement.max_replicas placement
+                      then
+                        (* Shed a secondary to make room for the pulled
+                           mastership; pick deterministically. *)
+                        (match Placement.secondaries placement part with
+                        | victim :: _ ->
+                            Placement.remove_secondary placement ~part ~node:victim
+                        | [] -> ());
+                      Placement.add_secondary placement ~part ~node:coordinator);
+                    Placement.remaster placement ~part ~node:coordinator;
+                    execute_locally ()))
+              else execute_remote ()
+            in
+            let wait = Cluster.partition_wait cl part in
+            if wait > 0.0 then (
+              let t0 = Engine.now engine in
+              Engine.schedule engine ~delay:wait (fun () ->
+                  remaster_time := !remaster_time +. (Engine.now engine -. t0);
+                  proceed ()))
+            else proceed ()
+      in
+      let begin_groups () =
+        step (groups_of txn) (fun () ->
+          let exec_time =
+            Stdlib.max 0.0 (Engine.now engine -. exec_start -. !remaster_time)
+          in
+          let finish result =
+            Cluster.release_worker cl ~node:coordinator lease;
+            k result
+          in
+          let base_phases =
+            [ (Metrics.Execution, exec_time); (Metrics.Remaster, !remaster_time) ]
+          in
+          let remote = List.sort_uniq compare !remote_parts in
+          if remote = [] then
+            if Kvstore.try_reserve session then (
+              Kvstore.finalize session;
+              Cluster.replicate_commit cl ~parts:txn.Txn.parts;
+              finish
+                {
+                  committed = true;
+                  single_node = true;
+                  remastered = !used_remaster;
+                  phases = base_phases;
+                })
+            else
+              finish
+                {
+                  committed = false;
+                  single_node = true;
+                  remastered = !used_remaster;
+                  phases = base_phases;
+                }
+          else (
+            (* 2PC. Participants are the current primary nodes of the
+               remote partitions. *)
+            let participants =
+              if flavor.unified_commit then
+                (* One unified round engages every replica holder of
+                   every remote partition. *)
+                List.concat_map
+                  (fun part ->
+                    Placement.primary placement part
+                    :: Placement.secondaries placement part)
+                  remote
+                |> List.sort_uniq compare
+                |> List.filter (fun n -> n <> coordinator)
+              else
+                List.sort_uniq compare (List.map (Placement.primary placement) remote)
+                |> List.filter (fun n -> n <> coordinator)
+            in
+            let prepare_start = Engine.now engine in
+            let prepare_bytes = cfg.Config.op_msg_bytes + cfg.Config.record_bytes in
+            let after_prepare () =
+              let prepare_time = Engine.now engine -. prepare_start in
+              (* Participants replicate their prepare logs. *)
+              Cluster.replicate_commit cl ~parts:remote;
+              if Kvstore.try_reserve session then (
+                if flavor.unified_commit then (
+                  (* The unified round already carried the writes and
+                     collected every replica's vote: commit now, send
+                     the decision one-way. *)
+                  Kvstore.finalize session;
+                  List.iter
+                    (fun node ->
+                      Network.send cl.Cluster.network ~src:coordinator ~dst:node
+                        ~bytes:cfg.Config.op_msg_bytes (fun () -> ()))
+                    participants;
+                  finish
+                    {
+                      committed = true;
+                      single_node = false;
+                      remastered = !used_remaster;
+                      phases =
+                        base_phases @ [ (Metrics.Prepare, prepare_time) ];
+                    })
+                else
+                let commit_start = Engine.now engine in
+                let after_commit () =
+                  let commit_time = Engine.now engine -. commit_start in
+                  Kvstore.finalize session;
+                  Cluster.replicate_commit cl ~parts:txn.Txn.parts;
+                  finish
+                    {
+                      committed = true;
+                      single_node = false;
+                      remastered = !used_remaster;
+                      phases =
+                        base_phases
+                        @ [
+                            (Metrics.Prepare, prepare_time);
+                            (Metrics.Commit, commit_time);
+                          ];
+                    }
+                in
+                match
+                  Proto.join_now (List.length participants) after_commit
+                with
+                | None -> ()
+                | Some cb ->
+                    List.iter
+                      (fun node ->
+                        Cluster.rpc cl ~src:coordinator ~dst:node
+                          ~bytes:cfg.Config.op_msg_bytes
+                          ~work:cfg.Config.msg_handle_cost cb)
+                      participants)
+              else (
+                (* Validation failed: one-way aborts, no waiting. *)
+                List.iter
+                  (fun node ->
+                    Network.send cl.Cluster.network ~src:coordinator ~dst:node
+                      ~bytes:cfg.Config.op_msg_bytes (fun () -> ()))
+                  participants;
+                finish
+                  {
+                    committed = false;
+                    single_node = false;
+                    remastered = !used_remaster;
+                    phases =
+                      base_phases @ [ (Metrics.Prepare, Engine.now engine -. prepare_start) ];
+                  })
+            in
+            match Proto.join_now (List.length participants) after_prepare with
+            | None -> ()
+            | Some cb ->
+                List.iter
+                  (fun node ->
+                    Cluster.rpc cl ~src:coordinator ~dst:node ~bytes:prepare_bytes
+                      ~work:cfg.Config.msg_handle_cost cb)
+                  participants))
+      in
+      Engine.schedule engine ~delay:cfg.Config.txn_setup_cost begin_groups)
+
+let run cl ~route ~flavor txn ~on_done =
+  let cfg = cl.Cluster.cfg in
+  let engine = cl.Cluster.engine in
+  let start = Engine.now engine in
+  let attempts = ref 0 in
+  let rec go () =
+    incr attempts;
+    let coordinator = route txn in
+    attempt cl ~coordinator ~txn ~flavor ~k:(fun r ->
+        if r.committed then (
+          let interval = cfg.Config.group_commit_interval in
+          let wait = interval -. Float.rem (Engine.now engine) interval in
+          let latency = Engine.now engine -. start +. wait in
+          let phases = r.phases @ [ (Metrics.Replication, wait) ] in
+          Engine.schedule engine ~delay:wait (fun () ->
+              Metrics.record_commit cl.Cluster.metrics ~latency
+                ~single_node:r.single_node ~remastered:r.remastered ~phases);
+          on_done ())
+        else (
+          Metrics.record_abort cl.Cluster.metrics;
+          let cap = Stdlib.min 8 !attempts in
+          let backoff =
+            (50.0 *. float_of_int (1 lsl cap))
+            +. Rng.float cl.Cluster.rng 50.0
+          in
+          Engine.schedule engine ~delay:(Stdlib.min 2000.0 backoff) go))
+  in
+  go ()

@@ -1,0 +1,16 @@
+(** Hermes baseline (§VI-A2b): deterministic execution with prescient
+    data partitioning and migration.
+
+    Hermes knows the whole batch ahead of execution: it groups
+    co-accessed partitions (a batch-local heat graph), assigns the
+    groups to nodes balanced by weight, migrates ownership accordingly,
+    and reorders the batch so transactions sharing partitions run
+    together. Transactions whose partitions land on one owner execute
+    single-home without round trips — that is why Hermes stays flat as
+    the cross ratio grows — while partitions that changed owner stall
+    the deterministic pipeline ([barrier_time] and migration bytes),
+    producing the severe jitter at workload shifts the paper observes
+    (Fig. 10). The single-threaded lock manager contributes the same
+    serial term as Calvin. *)
+
+val create : Lion_store.Cluster.t -> Proto.t

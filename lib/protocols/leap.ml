@@ -1,0 +1,7 @@
+let create cl =
+  Proto.make ~name:"Leap"
+    ~submit:(fun txn ~on_done ->
+      Exec.run cl
+        ~route:(Exec.route_most_primaries cl)
+        ~flavor:Exec.leap_flavor txn ~on_done)
+    ()

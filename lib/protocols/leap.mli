@@ -1,0 +1,10 @@
+(** Leap baseline (§VI-A2a): aggressive transaction-level migration.
+
+    Before executing an operation whose partition is mastered remotely,
+    the coordinator pulls the mastership (and the accessed tuples) to
+    itself; once everything is local the transaction commits directly,
+    skipping the prepare phase. The strategy adapts instantly but causes
+    ping-pong transfers under contention and piles all mastership onto
+    the hot node under skew — it has no load-balancing story. *)
+
+val create : Lion_store.Cluster.t -> Proto.t

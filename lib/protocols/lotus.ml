@@ -1,0 +1,69 @@
+module Cluster = Lion_store.Cluster
+module Metrics = Lion_sim.Metrics
+module Txn = Lion_workload.Txn
+
+let create ?(granule_size = 16) cl =
+  let cfg = cl.Cluster.cfg in
+  let process txns =
+    let nodes = Cluster.node_count cl in
+    let node_busy = Array.make nodes 0.0 in
+    (* Same-partition conflicts serialize on the partition's single
+       executor thread and never abort; only cross-partition
+       transactions — whose granule locks on REMOTE partitions live
+       until the epoch ends — abort on conflict. The footprint is
+       restricted to remote-partition keys for exactly that reason. *)
+    let cross_txns =
+      Array.of_list
+        (List.filter Txn.is_cross_partition (Array.to_list txns))
+    in
+    let remote_footprint txn =
+      let home = Batch_util.home_node cl txn in
+      let remote k =
+        Lion_store.Placement.primary cl.Cluster.placement k.Lion_store.Kvstore.part
+        <> home
+      in
+      (List.filter remote (Txn.write_keys txn), List.filter remote (Txn.read_keys txn))
+    in
+    let cross_ok =
+      Batch.conflict_verdicts ~footprint:remote_footprint
+        ~granule:(fun k -> (k.part, k.slot / granule_size))
+        cross_txns
+    in
+    let cross_verdict = Hashtbl.create 64 in
+    Array.iteri
+      (fun i txn -> Hashtbl.replace cross_verdict txn.Txn.id cross_ok.(i))
+      cross_txns;
+    let ok =
+      Array.map
+        (fun txn ->
+          match Hashtbl.find_opt cross_verdict txn.Txn.id with
+          | Some v -> v
+          | None -> true)
+        txns
+    in
+    let verdicts =
+      Array.mapi
+        (fun i txn ->
+          Batch_util.touch cl txn;
+          let home = Batch_util.home_node cl txn in
+          let cross = Txn.is_cross_partition txn in
+          (* Asynchronous commit/replication: cross transactions cost
+             message handling, not a blocking round trip. *)
+          node_busy.(home) <-
+            node_busy.(home) +. Batch_util.ops_work cfg txn
+            +. (if cross then 2.0 *. cfg.Lion_store.Config.msg_handle_cost else 0.0);
+          if ok.(i) then (
+            Batch_util.charge_replication cl txn;
+            { Batch.committed = true; single_node = not cross; remastered = false })
+          else { Batch.committed = false; single_node = not cross; remastered = false })
+        txns
+    in
+    {
+      Batch.verdicts;
+      node_busy;
+      serial_time = 0.0;
+      barrier_time = 0.0;
+      phase_split = [ (Metrics.Execution, 0.7); (Metrics.Replication, 0.3) ];
+    }
+  in
+  Batch.create cl ~name:"Lotus" ~process ()

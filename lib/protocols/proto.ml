@@ -1,0 +1,21 @@
+type t = {
+  name : string;
+  submit : Lion_workload.Txn.t -> on_done:(unit -> unit) -> unit;
+  tick : unit -> unit;
+  drain : unit -> unit;
+}
+
+let make ~name ~submit ?(tick = fun () -> ()) ?(drain = fun () -> ()) () =
+  { name; submit; tick; drain }
+
+let join n k =
+  let remaining = ref n in
+  fun () ->
+    decr remaining;
+    if !remaining = 0 then k ()
+
+let join_now n k =
+  if n = 0 then (
+    k ();
+    None)
+  else Some (join n k)

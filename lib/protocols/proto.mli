@@ -1,0 +1,35 @@
+(** The common protocol interface.
+
+    A protocol receives transactions from the harness's closed-loop
+    clients via [submit]; [on_done] fires when the submitting client may
+    issue its next transaction (for standard protocols, when the
+    coordinator worker is released — commit acknowledgements are
+    group-committed asynchronously, as in the Star codebase all paper
+    baselines share). [tick] is the periodic maintenance hook (planners,
+    load monitors); [drain] flushes buffered work at experiment end. *)
+
+type t = {
+  name : string;
+  submit : Lion_workload.Txn.t -> on_done:(unit -> unit) -> unit;
+  tick : unit -> unit;
+  drain : unit -> unit;
+}
+
+val make :
+  name:string ->
+  submit:(Lion_workload.Txn.t -> on_done:(unit -> unit) -> unit) ->
+  ?tick:(unit -> unit) ->
+  ?drain:(unit -> unit) ->
+  unit ->
+  t
+
+val join : int -> (unit -> unit) -> unit -> unit
+(** [join n k] returns a callback that invokes [k] after being called
+    [n] times ([n = 0] means [k] runs on the first call — callers
+    should invoke the result once unconditionally in that case via
+    [join_now]). *)
+
+val join_now : int -> (unit -> unit) -> (unit -> unit) option
+(** [join_now n k]: if [n = 0], runs [k] immediately and returns
+    [None]; otherwise returns [Some cb] where [cb] must be called
+    exactly [n] times. *)

@@ -1,0 +1,14 @@
+(** Star baseline (§VI-A2b): asymmetric full replication with
+    two-phase (partitioned / single-master) switching.
+
+    Single-home transactions run on their home nodes during the
+    partitioned phase; every cross-partition transaction is routed to
+    the super node (node 0, which holds a full replica) and committed
+    there as a single-node transaction without 2PC. The phase switch
+    costs one remastering round per epoch. Star never adapts its
+    placement; its ceiling is the super node's worker pool, which is
+    exactly how the bottleneck shows up here (all cross work lands in
+    [node_busy.(0)]). Writes executed on the super node replicate to
+    every other node (full replication). *)
+
+val create : Lion_store.Cluster.t -> Proto.t

@@ -1,0 +1,7 @@
+let create cl =
+  Proto.make ~name:"2PC"
+    ~submit:(fun txn ~on_done ->
+      Exec.run cl
+        ~route:(Exec.route_most_primaries cl)
+        ~flavor:Exec.plain_2pc txn ~on_done)
+    ()

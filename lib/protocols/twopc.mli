@@ -1,0 +1,8 @@
+(** The 2PC baseline: classic OCC + two-phase commit (§VI-A2a).
+
+    Transactions route to the node holding most of their primaries;
+    remote partitions are reached by blocking round trips; distributed
+    transactions always run the execute / prepare / commit phases. No
+    adaptivity of any kind. *)
+
+val create : Lion_store.Cluster.t -> Proto.t

@@ -1,0 +1,7 @@
+let create cl =
+  Proto.make ~name:"Unified"
+    ~submit:(fun txn ~on_done ->
+      Exec.run cl
+        ~route:(Exec.route_most_primaries cl)
+        ~flavor:Exec.unified_flavor txn ~on_done)
+    ()

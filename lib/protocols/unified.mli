@@ -1,0 +1,9 @@
+(** Unified commit baseline (§VII related work, e.g. MDCC/TAPIR-style):
+    the coordinator engages primaries and secondaries of every
+    participant in a single voting round, collapsing 2PC's prepare and
+    commit plus replica synchronisation into one round trip — fewer
+    sequential rounds, more messages and more voters per commit. No
+    adaptivity; included to position Lion against the
+    round-trip-minimisation line of work. *)
+
+val create : Lion_store.Cluster.t -> Proto.t

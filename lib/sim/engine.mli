@@ -1,0 +1,35 @@
+(** Discrete-event simulation engine.
+
+    Time is a float in simulated {e microseconds}. The engine holds a
+    priority queue of events; callbacks scheduled at equal times fire in
+    insertion order, so a run is fully deterministic. Callbacks may
+    schedule further events. *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> float
+(** Current simulated time in microseconds. *)
+
+val schedule : t -> delay:float -> (unit -> unit) -> unit
+(** [schedule t ~delay f] runs [f] at [now t +. max 0. delay]. *)
+
+val at : t -> time:float -> (unit -> unit) -> unit
+(** [at t ~time f] runs [f] at absolute time [time] (clamped to now). *)
+
+val run_until : t -> float -> unit
+(** Process events until the queue is empty or the next event is past
+    the deadline; leaves [now] at the deadline. *)
+
+val run_all : t -> ?max_events:int -> unit -> unit
+(** Drain the whole queue (guarded by [max_events], default 100M). *)
+
+val pending : t -> int
+(** Number of queued events. *)
+
+val seconds : float -> float
+(** Convert seconds to engine time units. [seconds 1.0 = 1e6]. *)
+
+val ms : float -> float
+(** Milliseconds to engine units. *)

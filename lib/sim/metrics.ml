@@ -1,0 +1,85 @@
+module Stats = Lion_kernel.Stats
+module Timeseries = Lion_kernel.Timeseries
+module Rng = Lion_kernel.Rng
+
+type phase = Execution | Prepare | Commit | Remaster | Scheduling | Replication
+
+let phase_name = function
+  | Execution -> "execution"
+  | Prepare -> "prepare"
+  | Commit -> "commit"
+  | Remaster -> "remaster"
+  | Scheduling -> "scheduling"
+  | Replication -> "replication"
+
+let all_phases = [ Execution; Prepare; Commit; Remaster; Scheduling; Replication ]
+
+let phase_index = function
+  | Execution -> 0
+  | Prepare -> 1
+  | Commit -> 2
+  | Remaster -> 3
+  | Scheduling -> 4
+  | Replication -> 5
+
+type t = {
+  engine : Engine.t;
+  mutable commits : int;
+  mutable aborts : int;
+  mutable single_node : int;
+  mutable remastered : int;
+  latency : Stats.Reservoir.t;
+  phase_time : float array;
+  mutable total_latency : float;
+  series : Timeseries.t;
+}
+
+let create ?(seed = 42) engine =
+  {
+    engine;
+    commits = 0;
+    aborts = 0;
+    single_node = 0;
+    remastered = 0;
+    latency = Stats.Reservoir.create (Rng.create seed);
+    phase_time = Array.make 6 0.0;
+    total_latency = 0.0;
+    series = Timeseries.create ~interval:(Engine.seconds 1.0);
+  }
+
+let record_commit t ~latency ~single_node ~remastered ~phases =
+  t.commits <- t.commits + 1;
+  if single_node then t.single_node <- t.single_node + 1;
+  if remastered then t.remastered <- t.remastered + 1;
+  Stats.Reservoir.add t.latency latency;
+  t.total_latency <- t.total_latency +. latency;
+  List.iter
+    (fun (p, d) -> t.phase_time.(phase_index p) <- t.phase_time.(phase_index p) +. d)
+    phases;
+  Timeseries.incr t.series ~time:(Engine.now t.engine)
+
+let record_abort t = t.aborts <- t.aborts + 1
+let commits t = t.commits
+let aborts t = t.aborts
+let single_node_commits t = t.single_node
+let remastered_commits t = t.remastered
+
+let throughput t ~duration =
+  if duration <= 0.0 then 0.0 else float_of_int t.commits /. (duration /. 1e6)
+
+let throughput_series t = Timeseries.to_array t.series
+let latency_percentile t p = Stats.Reservoir.percentile t.latency p
+let mean_latency t = Stats.Reservoir.mean t.latency
+
+let phase_fraction t phase =
+  let total = Array.fold_left ( +. ) 0.0 t.phase_time in
+  if total <= 0.0 then 0.0 else t.phase_time.(phase_index phase) /. total
+
+let reset_window t =
+  t.commits <- 0;
+  t.aborts <- 0;
+  t.single_node <- 0;
+  t.remastered <- 0;
+  t.total_latency <- 0.0;
+  Array.fill t.phase_time 0 6 0.0;
+  Stats.Reservoir.reset t.latency

@@ -1,0 +1,56 @@
+(** Experiment metrics: commits, aborts, latency, phase breakdown.
+
+    One recorder per experiment run. Commit events also record whether
+    the transaction ran as a single-node transaction, whether it used
+    remastering, and how its latency divides into phases — everything
+    Figs. 8, 10, 12 and 14 need. *)
+
+type phase =
+  | Execution  (** read/write processing, incl. remote reads *)
+  | Prepare  (** 2PC prepare round *)
+  | Commit  (** commit round / group-commit wait *)
+  | Remaster  (** waiting on leader transfers *)
+  | Scheduling  (** deterministic lock-manager / sequencer wait *)
+  | Replication  (** replica synchronisation *)
+
+val phase_name : phase -> string
+val all_phases : phase list
+
+type t
+
+val create : ?seed:int -> Engine.t -> t
+
+val record_commit :
+  t ->
+  latency:float ->
+  single_node:bool ->
+  remastered:bool ->
+  phases:(phase * float) list ->
+  unit
+(** Record a committed transaction. [latency] in µs from first submit
+    (including retries) to commit. *)
+
+val record_abort : t -> unit
+(** One abort-and-retry occurrence (the eventual commit is still
+    recorded via [record_commit]). *)
+
+val commits : t -> int
+val aborts : t -> int
+val single_node_commits : t -> int
+val remastered_commits : t -> int
+
+val throughput : t -> duration:float -> float
+(** Committed txns per simulated second over [duration] µs. *)
+
+val throughput_series : t -> float array
+(** Commits bucketed per simulated second. *)
+
+val latency_percentile : t -> float -> float
+val mean_latency : t -> float
+
+val phase_fraction : t -> phase -> float
+(** Fraction of total committed-transaction time spent in a phase. *)
+
+val reset_window : t -> unit
+(** Clear counters and latency (not the per-second series) so a run can
+    exclude its warm-up from reported numbers. *)

@@ -1,0 +1,41 @@
+module Timeseries = Lion_kernel.Timeseries
+
+type t = {
+  engine : Engine.t;
+  latency : float;
+  per_byte : float;
+  mutable total_bytes : int;
+  mutable messages : int;
+  bytes_series : Timeseries.t;
+}
+
+let create ?(latency = 60.0) ?(per_byte = 0.0085) engine =
+  {
+    engine;
+    latency;
+    per_byte;
+    total_bytes = 0;
+    messages = 0;
+    bytes_series = Timeseries.create ~interval:(Engine.seconds 1.0);
+  }
+
+let engine t = t.engine
+let oneway_delay t ~bytes = t.latency +. (float_of_int bytes *. t.per_byte)
+let roundtrip t ~bytes = 2.0 *. oneway_delay t ~bytes
+
+let charge t ~bytes =
+  t.total_bytes <- t.total_bytes + bytes;
+  t.messages <- t.messages + 1;
+  Timeseries.add t.bytes_series ~time:(Engine.now t.engine) (float_of_int bytes)
+
+let send t ~src ~dst ~bytes k =
+  if src = dst then Engine.schedule t.engine ~delay:0.0 k
+  else (
+    t.total_bytes <- t.total_bytes + bytes;
+    t.messages <- t.messages + 1;
+    Timeseries.add t.bytes_series ~time:(Engine.now t.engine) (float_of_int bytes);
+    Engine.schedule t.engine ~delay:(oneway_delay t ~bytes) k)
+
+let total_bytes t = t.total_bytes
+let bytes_series t = t.bytes_series
+let message_count t = t.messages

@@ -1,0 +1,43 @@
+(** Point-to-point network model.
+
+    One-way message delay = [latency] + [bytes] × [per_byte]. Defaults
+    are calibrated to the paper's testbed: a LAN with iperf-measured
+    ~937 Mbit/s (≈ 0.0085 µs/byte) and a one-way latency of 60 µs.
+    Messages between a node and itself are free. All transferred bytes
+    are accounted, globally and per time bucket, which reproduces the
+    bytes-per-transaction series of Fig. 12b. *)
+
+type t
+
+val create :
+  ?latency:float -> ?per_byte:float -> Engine.t -> t
+(** [latency] one-way µs (default 60.), [per_byte] µs/byte
+    (default 0.0085). *)
+
+val engine : t -> Engine.t
+
+val send :
+  t -> src:int -> dst:int -> bytes:int -> (unit -> unit) -> unit
+(** Deliver a message of [bytes] from [src] to [dst]; the callback runs
+    at arrival time. Local sends ([src = dst]) deliver immediately
+    (next event) and count no bytes. *)
+
+val charge : t -> bytes:int -> unit
+(** Account bytes (and one message) without scheduling a delivery event
+    — used by the analytic batch-epoch model where thousands of
+    replication messages per epoch would otherwise flood the event
+    queue. *)
+
+val oneway_delay : t -> bytes:int -> float
+(** The modelled one-way delay for a remote message of [bytes]. *)
+
+val roundtrip : t -> bytes:int -> float
+(** Two one-way delays (request and reply of equal size). *)
+
+val total_bytes : t -> int
+(** All bytes ever sent on non-local links. *)
+
+val bytes_series : t -> Lion_kernel.Timeseries.t
+(** Bytes bucketed per simulated second. *)
+
+val message_count : t -> int

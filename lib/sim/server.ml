@@ -1,0 +1,52 @@
+type lease = { acquired_at : float; mutable released : bool }
+
+type t = {
+  engine : Engine.t;
+  cap : int;
+  mutable busy : int;
+  waiting : (lease -> unit) Queue.t;
+  mutable busy_time : float;
+  mutable completed : int;
+}
+
+let create engine ~capacity =
+  assert (capacity > 0);
+  { engine; cap = capacity; busy = 0; waiting = Queue.create (); busy_time = 0.0; completed = 0 }
+
+let capacity t = t.cap
+
+let grant t k =
+  t.busy <- t.busy + 1;
+  let lease = { acquired_at = Engine.now t.engine; released = false } in
+  k lease
+
+let acquire t k =
+  if t.busy < t.cap then grant t k else Queue.push k t.waiting
+
+let release t lease =
+  if lease.released then invalid_arg "Server.release: lease already released";
+  lease.released <- true;
+  t.busy <- t.busy - 1;
+  t.busy_time <- t.busy_time +. (Engine.now t.engine -. lease.acquired_at);
+  t.completed <- t.completed + 1;
+  if not (Queue.is_empty t.waiting) then grant t (Queue.pop t.waiting)
+
+let submit t ~work k =
+  let work = if work < 0.0 then 0.0 else work in
+  acquire t (fun lease ->
+      Engine.schedule t.engine ~delay:work (fun () ->
+          release t lease;
+          k ()))
+
+let busy t = t.busy
+let queue_length t = Queue.length t.waiting
+let busy_time t = t.busy_time
+let completed t = t.completed
+
+let reset_counters t =
+  t.busy_time <- 0.0;
+  t.completed <- 0
+
+let utilization t ~since ~now =
+  let span = (now -. since) *. float_of_int t.cap in
+  if span <= 0.0 then 0.0 else Stdlib.min 1.0 (t.busy_time /. span)

@@ -1,0 +1,47 @@
+(** A capacity-[c] FIFO service station (a node's worker pool).
+
+    Two usage styles:
+    - [submit]: occupy a unit for a fixed service duration (remote
+      operation handling, short jobs);
+    - [acquire]/[release]: hold a unit across an arbitrary span — a
+      transaction coordinator keeps its worker busy through blocking
+      network round trips, which is exactly what makes distributed
+      transactions slow. Busy time accrues for the whole hold.
+
+    Queueing at saturated servers is what makes bottleneck nodes
+    (Star's super node, Calvin's lock manager) emerge in the simulation
+    rather than being hard-coded. *)
+
+type t
+type lease
+
+val create : Engine.t -> capacity:int -> t
+val capacity : t -> int
+
+val acquire : t -> (lease -> unit) -> unit
+(** Request a unit; the callback fires (FIFO) once one is free and
+    holds it until [release]. *)
+
+val release : t -> lease -> unit
+(** Free the unit. Raises [Invalid_argument] on double release. *)
+
+val submit : t -> work:float -> (unit -> unit) -> unit
+(** [acquire], hold for [work] µs, [release], then the callback. *)
+
+val busy : t -> int
+(** Units currently held. *)
+
+val queue_length : t -> int
+(** Acquire requests waiting for a free unit. *)
+
+val busy_time : t -> float
+(** Total held µs accumulated since creation (or last reset); includes
+    time leases spend blocked on the network. *)
+
+val completed : t -> int
+(** Leases released since creation (or last reset). *)
+
+val reset_counters : t -> unit
+
+val utilization : t -> since:float -> now:float -> float
+(** [busy_time / (capacity × window)], clamped to [0, 1]. *)

@@ -1,0 +1,234 @@
+module Engine = Lion_sim.Engine
+module Network = Lion_sim.Network
+module Metrics = Lion_sim.Metrics
+module Server = Lion_sim.Server
+module Rng = Lion_kernel.Rng
+
+let log_src = Logs.Src.create "lion.cluster" ~doc:"Cluster replica operations"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type t = {
+  cfg : Config.t;
+  engine : Engine.t;
+  network : Network.t;
+  metrics : Metrics.t;
+  placement : Placement.t;
+  store : Kvstore.t;
+  replication : Replication.t;
+  workers : Server.t array;
+  services : Server.t array;
+  rng : Rng.t;
+  part_available : float array;
+  part_access : float array;
+  node_alive : bool array;
+  part_last_remaster : float array;
+  mutable remaster_count : int;
+  mutable replica_add_count : int;
+  mutable migration_count : int;
+  mutable remaster_inflight : bool array;
+}
+
+let create ?(seed = 1) cfg =
+  let engine = Engine.create () in
+  let network = Network.create ~latency:cfg.Config.net_latency ~per_byte:cfg.Config.net_per_byte engine in
+  let parts = Config.total_partitions cfg in
+  {
+    cfg;
+    engine;
+    network;
+    metrics = Metrics.create ~seed engine;
+    placement =
+      Placement.create ~nodes:cfg.Config.nodes ~partitions:parts ~replicas:cfg.Config.replicas
+        ~max_replicas:cfg.Config.max_replicas;
+    store = Kvstore.create ();
+    replication =
+      Replication.create ~interval:cfg.Config.group_commit_interval ~partitions:parts
+        engine;
+    workers =
+      Array.init cfg.Config.nodes (fun _ ->
+          Server.create engine ~capacity:cfg.Config.workers_per_node);
+    services = Array.init cfg.Config.nodes (fun _ -> Server.create engine ~capacity:2);
+    rng = Rng.create seed;
+    part_available = Array.make parts 0.0;
+    part_access = Array.make parts 0.0;
+    node_alive = Array.make cfg.Config.nodes true;
+    part_last_remaster = Array.make parts neg_infinity;
+    remaster_count = 0;
+    replica_add_count = 0;
+    migration_count = 0;
+    remaster_inflight = Array.make parts false;
+  }
+
+let now t = Engine.now t.engine
+let node_count t = t.cfg.Config.nodes
+let partition_count t = Placement.partitions t.placement
+let touch_partition t p = t.part_access.(p) <- t.part_access.(p) +. 1.0
+
+let decay_access t factor =
+  for p = 0 to Array.length t.part_access - 1 do
+    t.part_access.(p) <- t.part_access.(p) *. factor
+  done
+
+let normalized_freq t p =
+  let hottest = Array.fold_left Stdlib.max 0.0 t.part_access in
+  if hottest <= 0.0 then 0.0 else t.part_access.(p) /. hottest
+
+let partition_wait t p = Stdlib.max 0.0 (t.part_available.(p) -. now t)
+
+
+let block_partition t p until =
+  if until > t.part_available.(p) then t.part_available.(p) <- until
+
+let block_partition_for t ~part ~duration = block_partition t part (now t +. duration)
+
+let try_begin_remaster t ~part ~node =
+  if not t.node_alive.(node) then false
+  else if t.remaster_inflight.(part) then false
+  else if not (Placement.has_replica t.placement ~part ~node) then false
+  else if Placement.has_primary t.placement ~part ~node then true
+  else if
+    now t -. t.part_last_remaster.(part) < t.cfg.Config.remaster_cooldown
+  then false
+  else (
+    t.remaster_inflight.(part) <- true;
+    t.part_last_remaster.(part) <- now t;
+    let delay = t.cfg.Config.remaster_delay in
+    block_partition t part (now t +. delay);
+    (* Lagging-log synchronisation: ship the records the secondary has
+       not yet acknowledged (§III), not the whole partition. *)
+    let src = Placement.primary t.placement part in
+    let lag_bytes =
+      Stdlib.max 256 (Replication.lag t.replication ~part * t.cfg.Config.record_bytes)
+    in
+    Network.send t.network ~src ~dst:node ~bytes:lag_bytes (fun () -> ());
+    Engine.schedule t.engine ~delay (fun () ->
+        (* The placement may have changed while blocked only via this
+           remaster (the inflight flag excludes races) — but the target
+           may have died in the meantime. *)
+        if t.node_alive.(node) && Placement.has_replica t.placement ~part ~node then
+          Placement.remaster t.placement ~part ~node;
+        t.remaster_count <- t.remaster_count + 1;
+        t.remaster_inflight.(part) <- false);
+    true)
+
+let remaster_sync t ~part ~node =
+  if not (Placement.has_primary t.placement ~part ~node) then
+    ignore (try_begin_remaster t ~part ~node)
+
+(* Evict the coldest secondary: every secondary serves no reads in this
+   model, so "coldest" is decided by hosting-node pressure — shed from
+   the node hosting the most replicas, deterministically. *)
+let evict_one_secondary t ~part ~keep =
+  let secs = Placement.secondaries t.placement part in
+  let candidates = List.filter (fun n -> n <> keep) secs in
+  match candidates with
+  | [] -> ()
+  | _ ->
+      let victim =
+        List.fold_left
+          (fun best n ->
+            match best with
+            | None -> Some n
+            | Some b ->
+                let load_n = Placement.replicas_on t.placement n
+                and load_b = Placement.replicas_on t.placement b in
+                if load_n > load_b || (load_n = load_b && n < b) then Some n else Some b)
+          None candidates
+      in
+      Option.iter (fun n -> Placement.remove_secondary t.placement ~part ~node:n) victim
+
+let add_replica t ~part ~node ~on_ready =
+  if not t.node_alive.(node) then ()
+  else if Placement.has_replica t.placement ~part ~node then on_ready ()
+  else (
+    if Placement.replica_count t.placement part >= Placement.max_replicas t.placement then
+      evict_one_secondary t ~part ~keep:node;
+    let src = Placement.primary t.placement part in
+    Network.send t.network ~src ~dst:node ~bytes:t.cfg.Config.partition_bytes (fun () -> ());
+    (* Snapshotting on the source and applying on the destination
+       consume worker CPU, interfering with transaction processing. *)
+    Server.submit t.workers.(src) ~work:t.cfg.Config.migration_cpu_cost (fun () -> ());
+    Server.submit t.workers.(node) ~work:t.cfg.Config.migration_cpu_cost (fun () -> ());
+    t.migration_count <- t.migration_count + 1;
+    Engine.schedule t.engine ~delay:t.cfg.Config.replica_add_duration (fun () ->
+        if t.node_alive.(node) then (
+          if not (Placement.has_replica t.placement ~part ~node) then (
+            Placement.add_secondary t.placement ~part ~node;
+            t.replica_add_count <- t.replica_add_count + 1);
+          on_ready ())))
+
+let remove_replica t ~part ~node =
+  if Placement.has_secondary t.placement ~part ~node then
+    Placement.remove_secondary t.placement ~part ~node
+
+let alive t n = t.node_alive.(n)
+
+let alive_nodes t =
+  List.filter (fun n -> t.node_alive.(n)) (List.init t.cfg.Config.nodes Fun.id)
+
+let fail_node t node =
+  if t.node_alive.(node) then (
+    Log.warn (fun m -> m "node %d failed at t=%.0fus" node (now t));
+    t.node_alive.(node) <- false;
+    let parts = Placement.partitions t.placement in
+    for part = 0 to parts - 1 do
+      if Placement.has_secondary t.placement ~part ~node then
+        Placement.remove_secondary t.placement ~part ~node
+    done;
+    for part = 0 to parts - 1 do
+      if Placement.has_primary t.placement ~part ~node then (
+        match
+          List.filter (fun n -> t.node_alive.(n)) (Placement.secondaries t.placement part)
+        with
+        | [] ->
+            (* No surviving replica: unavailable until the node
+               recovers with its (stale but only) copy. *)
+            t.part_available.(part) <- infinity
+        | _ :: _ ->
+            block_partition t part (now t +. t.cfg.Config.election_delay);
+            Engine.schedule t.engine ~delay:t.cfg.Config.election_delay (fun () ->
+                match
+                  List.filter
+                    (fun n -> t.node_alive.(n))
+                    (Placement.secondaries t.placement part)
+                with
+                | winner :: _ when Placement.primary t.placement part = node ->
+                    Placement.remaster t.placement ~part ~node:winner
+                | _ -> ()))
+    done)
+
+let recover_node t node =
+  if not t.node_alive.(node) then (
+    Log.info (fun m -> m "node %d recovered at t=%.0fus" node (now t));
+    t.node_alive.(node) <- true;
+    let parts = Placement.partitions t.placement in
+    for part = 0 to parts - 1 do
+      if Placement.has_primary t.placement ~part ~node && t.part_available.(part) = infinity
+      then t.part_available.(part) <- now t +. t.cfg.Config.election_delay
+    done)
+
+let node_load t n = Server.busy_time t.workers.(n)
+let reset_load_counters t = Array.iter Server.reset_counters t.workers
+let submit_local t ~node ~work k = Server.submit t.workers.(node) ~work k
+
+let rpc t ~src ~dst ~bytes ~work k =
+  if src = dst then Server.submit t.services.(dst) ~work k
+  else
+    Network.send t.network ~src ~dst ~bytes (fun () ->
+        Server.submit t.services.(dst) ~work (fun () ->
+            Network.send t.network ~src:dst ~dst:src ~bytes k))
+
+let acquire_worker t ~node k = Server.acquire t.workers.(node) k
+let release_worker t ~node lease = Server.release t.workers.(node) lease
+
+let replicate_commit t ~parts =
+  List.iter
+    (fun p ->
+      Replication.append t.replication ~part:p;
+      let src = Placement.primary t.placement p in
+      List.iter
+        (fun dst ->
+          Network.send t.network ~src ~dst ~bytes:t.cfg.Config.record_bytes (fun () -> ()))
+        (Placement.secondaries t.placement p))
+    parts

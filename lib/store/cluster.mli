@@ -1,0 +1,130 @@
+(** The simulated cluster: nodes, network, placement, store, and the
+    replica-manipulation primitives (remaster / add / remove replica)
+    that the paper's adaptor invokes (§III, §V MHandler functions).
+
+    All protocol implementations run against this one substrate. *)
+
+type t = {
+  cfg : Config.t;
+  engine : Lion_sim.Engine.t;
+  network : Lion_sim.Network.t;
+  metrics : Lion_sim.Metrics.t;
+  placement : Placement.t;
+  store : Kvstore.t;
+  replication : Replication.t;
+      (** per-partition replication logs; remastering ships the lag *)
+  workers : Lion_sim.Server.t array;  (** per-node worker pool *)
+  services : Lion_sim.Server.t array;
+      (** per-node messenger pool (2 threads, §VI-A) handling remote
+          sub-operations — separate from workers, as in the paper's
+          thread model, so coordinators holding workers cannot deadlock
+          with the remote work they wait on *)
+  rng : Lion_kernel.Rng.t;
+  part_available : float array;
+      (** per-partition time before which operations block (remaster
+          or migration in progress) *)
+  part_access : float array;  (** decayed per-partition access counter *)
+  node_alive : bool array;  (** liveness; see [fail_node] *)
+  part_last_remaster : float array;
+      (** start time of each partition's most recent remaster, enforcing
+          [Config.remaster_cooldown] against ping-pong *)
+  mutable remaster_count : int;
+  mutable replica_add_count : int;
+  mutable migration_count : int;
+  mutable remaster_inflight : bool array;
+      (** per-partition flag to serialise concurrent remaster attempts
+          (the paper's remastering-conflict rule: one wins, others fall
+          back to 2PC) *)
+}
+
+val create : ?seed:int -> Config.t -> t
+
+val now : t -> float
+val node_count : t -> int
+val partition_count : t -> int
+
+val touch_partition : t -> int -> unit
+(** Bump the access counter used for f(v, n) in the cost model. *)
+
+val decay_access : t -> float -> unit
+(** Multiply all access counters by a factor in (0,1]; the planner calls
+    this each analysis round so frequencies track the recent window. *)
+
+val normalized_freq : t -> int -> float
+(** f(v, ·) of Eq. 4: this partition's access counter divided by the
+    hottest partition's (0 when nothing has been accessed). *)
+
+val partition_wait : t -> int -> float
+(** How long an operation arriving now must wait for the partition to
+    come out of an in-progress remaster (0 if available). *)
+
+val block_partition_for : t -> part:int -> duration:float -> unit
+(** Make the partition unavailable for [duration] from now — used by
+    migration-based protocols whose transfers block concurrent
+    transactions (§II-B). *)
+
+val try_begin_remaster : t -> part:int -> node:int -> bool
+(** Attempt to start remastering [part] onto [node]. Returns false if a
+    remaster of this partition is already in flight (the caller must
+    fall back to 2PC) or if [node] holds no replica. On success the
+    partition blocks for [cfg.remaster_delay]; at the end the placement
+    is updated and lagging-log bytes are charged to the network. *)
+
+val remaster_sync : t -> part:int -> node:int -> unit
+(** Planner-side immediate remaster used when applying a plan outside
+    transaction execution: blocks the partition and updates placement at
+    completion time. No-op when [node] is already primary. *)
+
+val add_replica : t -> part:int -> node:int -> on_ready:(unit -> unit) -> unit
+(** Background replica addition: charges [partition_bytes] to the
+    network, waits [replica_add_duration], then installs the secondary.
+    If the partition is at [max_replicas], evicts the coldest secondary
+    (the delete_flag mechanism) first; if [node] already holds a
+    replica, fires [on_ready] immediately. Never blocks transactions. *)
+
+val remove_replica : t -> part:int -> node:int -> unit
+
+val alive : t -> int -> bool
+(** Liveness of a node (true until [fail_node]). *)
+
+val alive_nodes : t -> int list
+
+val fail_node : t -> int -> unit
+(** Crash a node: its replicas become unreachable (secondaries are
+    dropped from the placement); every partition whose primary lived
+    there blocks for [cfg.election_delay] and is then failed over to a
+    surviving secondary. A partition with no surviving replica stays
+    blocked until the node recovers (data loss is out of scope).
+    Idempotent. *)
+
+val recover_node : t -> int -> unit
+(** Bring a node back empty: it rejoins with no replicas (its state is
+    stale) and is repopulated by subsequent planner decisions. Restores
+    any partitions that were blocked for lack of replicas by reviving
+    their replica on this node. *)
+
+val node_load : t -> int -> float
+(** Busy-time of the node's worker pool since the last counter reset —
+    Clay's overload signal and our load-balance measurements. *)
+
+val reset_load_counters : t -> unit
+
+val submit_local : t -> node:int -> work:float -> (unit -> unit) -> unit
+(** Run [work] µs on one of [node]'s workers, then the continuation. *)
+
+val rpc :
+  t -> src:int -> dst:int -> bytes:int -> work:float -> (unit -> unit) -> unit
+(** Round trip: request message, [work] µs of service on [dst]'s
+    messenger pool, reply message; continuation fires at reply arrival.
+    Local calls skip the wire but still consume [work]. *)
+
+val acquire_worker : t -> node:int -> (Lion_sim.Server.lease -> unit) -> unit
+(** Hold one of [node]'s workers (a transaction coordinator's thread)
+    until [release_worker]. *)
+
+val release_worker : t -> node:int -> Lion_sim.Server.lease -> unit
+
+val replicate_commit : t -> parts:int list -> unit
+(** Charge asynchronous replication traffic for a commit touching
+    [parts]: one log record per secondary replica. Group-commit batching
+    is modelled by the per-byte cost only (no blocking). *)

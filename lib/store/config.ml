@@ -1,0 +1,52 @@
+type t = {
+  nodes : int;
+  partitions_per_node : int;
+  workers_per_node : int;
+  replicas : int;
+  max_replicas : int;
+  txn_setup_cost : float;
+  local_op_cost : float;
+  msg_handle_cost : float;
+  net_latency : float;
+  net_per_byte : float;
+  op_msg_bytes : int;
+  record_bytes : int;
+  remaster_delay : float;
+  remaster_cooldown : float;
+  partition_bytes : int;
+  migration_cpu_cost : float;
+  replica_add_duration : float;
+  election_delay : float;
+  replication_factor_sync : bool;
+  group_commit_interval : float;
+  batch_size : int;
+}
+
+let default =
+  {
+    nodes = 4;
+    partitions_per_node = 12;
+    workers_per_node = 8;
+    replicas = 2;
+    max_replicas = 4;
+    txn_setup_cost = 50.0;
+    local_op_cost = 15.0;
+    msg_handle_cost = 4.0;
+    net_latency = 60.0;
+    net_per_byte = 0.0085;
+    op_msg_bytes = 128;
+    record_bytes = 64;
+    remaster_delay = 300.0;
+    remaster_cooldown = 10_000.0;
+    partition_bytes = 1_000_000;
+    migration_cpu_cost = 20_000.0;
+    replica_add_duration = 200_000.0;
+    election_delay = 10_000.0;
+    replication_factor_sync = false;
+    group_commit_interval = 10_000.0;
+    batch_size = 10_000;
+  }
+
+let total_partitions t = t.nodes * t.partitions_per_node
+let total_workers t = t.nodes * t.workers_per_node
+let with_nodes t nodes = { t with nodes }

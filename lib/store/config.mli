@@ -1,0 +1,51 @@
+(** System-wide cost and sizing parameters for the simulated database.
+
+    Defaults follow the paper's testbed (§VI-A): 8 worker threads per
+    executor node, 2 initial replicas per partition, a maximum of 4,
+    remaster delay 3000 µs, ~1 GbE network. All costs are in simulated
+    microseconds, all sizes in bytes. *)
+
+type t = {
+  nodes : int;  (** executor node count (paper default 4) *)
+  partitions_per_node : int;  (** initial partitions hosted per node *)
+  workers_per_node : int;  (** worker threads per node (paper: 8) *)
+  replicas : int;  (** initial replicas per partition (paper: 2) *)
+  max_replicas : int;  (** replica cap per partition (paper: 4) *)
+  txn_setup_cost : float;  (** per-transaction CPU µs at the coordinator (parsing, context) *)
+  local_op_cost : float;  (** CPU µs to execute one local read/write *)
+  msg_handle_cost : float;  (** CPU µs consumed at a message receiver *)
+  net_latency : float;  (** one-way network latency, µs *)
+  net_per_byte : float;  (** µs per byte on the wire *)
+  op_msg_bytes : int;  (** request/response size for one operation *)
+  record_bytes : int;  (** payload of one data record *)
+  remaster_delay : float;
+      (** leader-transfer duration, µs. Default 300 (log tail sync +
+          leader handover on a LAN); §VI-C1 experiments explicitly set
+          the paper's stress value of 3000 *)
+  remaster_cooldown : float;
+      (** minimum µs between two remasters of the same partition —
+          damps ping-pong; transactions losing the race fall back to 2PC *)
+  partition_bytes : int;  (** bytes copied when adding a replica *)
+  migration_cpu_cost : float;
+      (** worker CPU µs consumed on {e each} of the source and
+          destination nodes per replica addition — the interference that
+          makes migration-heavy strategies pay (§II-B) *)
+  replica_add_duration : float;  (** background copy duration, µs *)
+  election_delay : float;
+      (** leader-election span after a node failure before an affected
+          partition's surviving secondary is promoted, µs *)
+  replication_factor_sync : bool;
+      (** if true, commit waits for replication (no group commit) *)
+  group_commit_interval : float;  (** epoch length for group commit, µs *)
+  batch_size : int;  (** batch execution epoch size (paper: 10k) *)
+}
+
+val default : t
+(** The paper's default configuration: 4 nodes, 8 workers, 2 replicas,
+    max 4, remaster 3000 µs. *)
+
+val total_partitions : t -> int
+val total_workers : t -> int
+
+val with_nodes : t -> int -> t
+(** Scale the cluster size keeping per-node density fixed (Fig. 11). *)

@@ -1,0 +1,77 @@
+type key = { part : int; slot : int }
+
+let key ~part ~slot = { part; slot }
+
+let key_compare a b =
+  let c = compare a.part b.part in
+  if c <> 0 then c else compare a.slot b.slot
+
+let pp_key fmt k = Format.fprintf fmt "P%d/%d" k.part k.slot
+
+module Ktbl = Hashtbl.Make (struct
+  type t = key
+
+  let equal a b = a.part = b.part && a.slot = b.slot
+  let hash k = (k.part * 1_000_003) lxor k.slot
+end)
+
+type t = { versions : int Ktbl.t; pending : int Ktbl.t; mutable next_session : int }
+
+let create () = { versions = Ktbl.create 4096; pending = Ktbl.create 64; next_session = 0 }
+let version t k = match Ktbl.find_opt t.versions k with Some v -> v | None -> 0
+let touched_keys t = Ktbl.length t.versions
+
+type session = {
+  store : t;
+  sid : int;
+  mutable reads : (key * int) list; (* key, observed version *)
+  mutable writes : key list;
+}
+
+let begin_session store =
+  let sid = store.next_session in
+  store.next_session <- sid + 1;
+  { store; sid; reads = []; writes = [] }
+
+let read s k = s.reads <- (k, version s.store k) :: s.reads
+
+let write s k =
+  s.reads <- (k, version s.store k) :: s.reads;
+  s.writes <- k :: s.writes
+
+let read_set s = List.rev_map fst s.reads
+let write_set s = List.rev s.writes
+
+let validate s = List.for_all (fun (k, v) -> version s.store k = v) s.reads
+
+let pending_by_other s k =
+  match Ktbl.find_opt s.store.pending k with
+  | Some sid -> sid <> s.sid
+  | None -> false
+
+let try_reserve s =
+  if
+    List.for_all (fun (k, v) -> version s.store k = v && not (pending_by_other s k)) s.reads
+  then (
+    List.iter (fun k -> Ktbl.replace s.store.pending k s.sid) s.writes;
+    true)
+  else false
+
+let release_reservation s =
+  List.iter
+    (fun k ->
+      match Ktbl.find_opt s.store.pending k with
+      | Some sid when sid = s.sid -> Ktbl.remove s.store.pending k
+      | _ -> ())
+    s.writes
+
+let finalize s =
+  List.iter (fun k -> Ktbl.replace s.store.versions k (version s.store k + 1)) s.writes;
+  release_reservation s
+
+let commit_session s =
+  List.iter (fun k -> Ktbl.replace s.store.versions k (version s.store k + 1)) s.writes
+
+let abort_session s =
+  s.reads <- [];
+  s.writes <- []

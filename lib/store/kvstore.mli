@@ -1,0 +1,70 @@
+(** Sparse versioned key-value store with OCC sessions.
+
+    Keys name a (partition, slot) pair. Only versions are materialised —
+    payload bytes are modelled as message sizes by the simulator — and
+    only touched keys occupy memory, so a "24 M items per node" YCSB
+    dataset costs nothing until accessed.
+
+    Concurrency control is classic backward-validation OCC: a session
+    records the version of every key it reads (writes are treated as
+    read-modify-writes, as in YCSB and TPC-C), [validate] checks those
+    versions are unchanged, and [commit_session] installs the writes by
+    bumping versions. Because the simulator executes events in global
+    time order, reading the table at simulated read time and validating
+    at simulated commit time is exactly serializable-history OCC. *)
+
+type key = { part : int; slot : int }
+
+val key : part:int -> slot:int -> key
+val key_compare : key -> key -> int
+val pp_key : Format.formatter -> key -> unit
+
+type t
+
+val create : unit -> t
+
+val version : t -> key -> int
+(** Current version; unseen keys are at version 0. *)
+
+val touched_keys : t -> int
+(** Number of distinct keys ever written. *)
+
+(** An in-flight transaction's footprint. *)
+type session
+
+val begin_session : t -> session
+
+val read : session -> key -> unit
+(** Record a read of [key] at its current version. *)
+
+val write : session -> key -> unit
+(** Record a read-modify-write of [key]. *)
+
+val read_set : session -> key list
+val write_set : session -> key list
+
+val validate : session -> bool
+(** True iff every recorded version is still current. *)
+
+val try_reserve : session -> bool
+(** Atomic validate-and-lock at commit time: checks every recorded
+    version is current {e and} no touched key carries another session's
+    pending write, then marks this session's writes pending. Returns
+    false (reserving nothing) on any conflict. This is the
+    validation-to-install critical section real OCC engines hold — it
+    prevents two concurrently-validating transactions from both
+    committing conflicting writes. *)
+
+val finalize : session -> unit
+(** Install a reserved session's writes (bump versions) and clear its
+    pending marks. Must follow a successful [try_reserve]. *)
+
+val release_reservation : session -> unit
+(** Clear pending marks without installing (a post-reserve abort, e.g.
+    a 2PC participant voted no). *)
+
+val commit_session : session -> unit
+(** [try_reserve]-free install for single-threaded callers/tests. *)
+
+val abort_session : session -> unit
+(** Discard the footprint (no store effect; provided for symmetry). *)

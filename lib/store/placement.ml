@@ -1,0 +1,101 @@
+type t = {
+  nodes : int;
+  partitions : int;
+  max_replicas : int;
+  primary : int array;
+  secondary : bool array array; (* partition -> node -> has secondary *)
+}
+
+let create ~nodes ~partitions ~replicas ~max_replicas =
+  assert (nodes > 0 && partitions > 0);
+  assert (replicas >= 1 && replicas <= max_replicas && replicas <= nodes);
+  let primary = Array.init partitions (fun p -> p mod nodes) in
+  let secondary = Array.init partitions (fun _ -> Array.make nodes false) in
+  for p = 0 to partitions - 1 do
+    for r = 1 to replicas - 1 do
+      secondary.(p).((p + r) mod nodes) <- true
+    done
+  done;
+  { nodes; partitions; max_replicas; primary; secondary }
+
+let nodes t = t.nodes
+let partitions t = t.partitions
+let max_replicas t = t.max_replicas
+let primary t p = t.primary.(p)
+
+let secondaries t p =
+  let out = ref [] in
+  for n = t.nodes - 1 downto 0 do
+    if t.secondary.(p).(n) then out := n :: !out
+  done;
+  !out
+
+let replica_count t p = 1 + List.length (secondaries t p)
+let has_primary t ~part ~node = t.primary.(part) = node
+let has_secondary t ~part ~node = t.secondary.(part).(node)
+let has_replica t ~part ~node = has_primary t ~part ~node || has_secondary t ~part ~node
+
+let remaster t ~part ~node =
+  if t.primary.(part) <> node then (
+    if not t.secondary.(part).(node) then
+      invalid_arg
+        (Printf.sprintf "Placement.remaster: node %d holds no replica of partition %d" node part);
+    let old = t.primary.(part) in
+    t.secondary.(part).(node) <- false;
+    t.secondary.(part).(old) <- true;
+    t.primary.(part) <- node)
+
+let add_secondary t ~part ~node =
+  if not (has_replica t ~part ~node) then (
+    if replica_count t part >= t.max_replicas then
+      invalid_arg
+        (Printf.sprintf "Placement.add_secondary: partition %d already at max replicas" part);
+    t.secondary.(part).(node) <- true)
+
+let remove_secondary t ~part ~node =
+  if t.primary.(part) = node then
+    invalid_arg "Placement.remove_secondary: cannot remove the primary";
+  if not t.secondary.(part).(node) then
+    invalid_arg "Placement.remove_secondary: no secondary on that node";
+  t.secondary.(part).(node) <- false
+
+let parts_primary_on t node =
+  let out = ref [] in
+  for p = t.partitions - 1 downto 0 do
+    if t.primary.(p) = node then out := p :: !out
+  done;
+  !out
+
+let replicas_on t node =
+  let count = ref 0 in
+  for p = 0 to t.partitions - 1 do
+    if has_replica t ~part:p ~node then incr count
+  done;
+  !count
+
+let count_primaries_at t parts ~node =
+  List.fold_left (fun acc p -> if t.primary.(p) = node then acc + 1 else acc) 0 parts
+
+let count_replicas_at t parts ~node =
+  List.fold_left (fun acc p -> if has_replica t ~part:p ~node then acc + 1 else acc) 0 parts
+
+let best_local_node t parts =
+  let best = ref None in
+  for node = t.nodes - 1 downto 0 do
+    if List.for_all (fun p -> has_replica t ~part:p ~node) parts then (
+      let prims = count_primaries_at t parts ~node in
+      match !best with
+      | Some (_, best_prims) when best_prims > prims -> ()
+      | _ -> best := Some (node, prims))
+  done;
+  (* The loop above keeps the best seen while iterating downwards and
+     prefers the later (lower-id) node on ties because `>=` would; make
+     the tie-break explicit: keep lower id on equal primary counts. *)
+  Option.map fst !best
+
+let copy t =
+  {
+    t with
+    primary = Array.copy t.primary;
+    secondary = Array.map Array.copy t.secondary;
+  }

@@ -1,0 +1,43 @@
+let primaries_per_node p =
+  Array.init (Placement.nodes p) (fun n -> List.length (Placement.parts_primary_on p n))
+
+let replicas_per_node p =
+  Array.init (Placement.nodes p) (fun n -> Placement.replicas_on p n)
+
+let imbalance p =
+  let prim = primaries_per_node p in
+  let total = Array.fold_left ( + ) 0 prim in
+  if total = 0 then 1.0
+  else (
+    let mean = float_of_int total /. float_of_int (Array.length prim) in
+    float_of_int (Array.fold_left Stdlib.max 0 prim) /. mean)
+
+let fraction_matching pred p sets =
+  match sets with
+  | [] -> 0.0
+  | _ ->
+      let hits = List.length (List.filter (pred p) sets) in
+      float_of_int hits /. float_of_int (List.length sets)
+
+let coverage p sets =
+  fraction_matching (fun p parts -> Placement.best_local_node p parts <> None) p sets
+
+let colocated p sets =
+  fraction_matching
+    (fun p parts ->
+      match parts with
+      | [] -> true
+      | first :: rest ->
+          let home = Placement.primary p first in
+          List.for_all (fun part -> Placement.primary p part = home) rest)
+    p sets
+
+let pp fmt p =
+  for n = 0 to Placement.nodes p - 1 do
+    Format.fprintf fmt "N%d:" n;
+    for part = 0 to Placement.partitions p - 1 do
+      if Placement.has_primary p ~part ~node:n then Format.fprintf fmt " P%d*" part
+      else if Placement.has_secondary p ~part ~node:n then Format.fprintf fmt " P%d" part
+    done;
+    Format.pp_print_newline fmt ()
+  done

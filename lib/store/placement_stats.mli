@@ -1,0 +1,23 @@
+(** Diagnostics over a replica placement: how replicas and primaries are
+    distributed, how balanced the layout is, and how well a set of
+    co-access pairs is served — used by examples, tests and the
+    operator-facing CLI to explain what the planner did. *)
+
+val primaries_per_node : Placement.t -> int array
+val replicas_per_node : Placement.t -> int array
+
+val imbalance : Placement.t -> float
+(** max/mean ratio of primaries per node; 1.0 = perfectly even. *)
+
+val coverage : Placement.t -> int list list -> float
+(** Fraction of the given partition sets for which some single node
+    holds a replica of every member (i.e. convertible to single-node
+    execution by remastering at most). *)
+
+val colocated : Placement.t -> int list list -> float
+(** Fraction of the given partition sets whose members' primaries
+    already share a node (single-node without any remastering). *)
+
+val pp : Format.formatter -> Placement.t -> unit
+(** Compact per-node layout dump ("N0: P0* P3 P7* ..."; * marks a
+    primary). *)

@@ -1,0 +1,38 @@
+module Engine = Lion_sim.Engine
+module Timeseries = Lion_kernel.Timeseries
+
+type t = {
+  engine : Engine.t;
+  interval : float;
+  sync_delay : float;
+  logs : Timeseries.t array; (* appends bucketed by epoch *)
+  totals : int array;
+  mutable grand_total : int;
+}
+
+let create ?sync_delay ~interval ~partitions engine =
+  assert (interval > 0.0);
+  {
+    engine;
+    interval;
+    sync_delay = (match sync_delay with Some d -> d | None -> 2.0 *. interval);
+    logs = Array.init partitions (fun _ -> Timeseries.create ~interval);
+    totals = Array.make partitions 0;
+    grand_total = 0;
+  }
+
+let append t ~part =
+  Timeseries.incr t.logs.(part) ~time:(Engine.now t.engine);
+  t.totals.(part) <- t.totals.(part) + 1;
+  t.grand_total <- t.grand_total + 1
+
+let appends t ~part = t.totals.(part)
+
+let lag t ~part =
+  let now = Engine.now t.engine in
+  let hi = int_of_float (Float.floor (now /. t.interval)) in
+  let lo = int_of_float (Float.floor ((now -. t.sync_delay) /. t.interval)) in
+  int_of_float (Timeseries.sum_range t.logs.(part) lo hi)
+
+let total_appends t = t.grand_total
+let sync_delay t = t.sync_delay

@@ -1,0 +1,30 @@
+(** Per-partition replication log with epoch-based group commit lag.
+
+    Primaries append one log record per committed write set; secondaries
+    acknowledge asynchronously, one group-commit epoch (plus wire time)
+    behind. The {e lag} of a partition — records appended in the last
+    [sync_delay] — is what a remastering must ship to the promoted
+    secondary before the leader handover (§III's "lagging logs will be
+    synchronized from the leader to the target secondary"), so the
+    cluster charges remaster bytes proportional to it. *)
+
+type t
+
+val create :
+  ?sync_delay:float -> interval:float -> partitions:int -> Lion_sim.Engine.t -> t
+(** [interval]: group-commit epoch length in µs (bucket granularity of
+    the lag window). [sync_delay] defaults to 2 × interval: one epoch
+    of buffering plus the replication round trip. *)
+
+val append : t -> part:int -> unit
+(** Record one committed write set on the partition's log. *)
+
+val appends : t -> part:int -> int
+(** Total records ever appended to the partition's log. *)
+
+val lag : t -> part:int -> int
+(** Records appended within the trailing [sync_delay] — not yet
+    acknowledged by the secondaries. *)
+
+val total_appends : t -> int
+val sync_delay : t -> float

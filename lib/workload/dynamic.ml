@@ -1,0 +1,86 @@
+type phase = { name : string; duration : float; params : Ycsb.params }
+
+type t = { phases : phase array; cycle : float }
+
+let of_phases phases =
+  assert (phases <> []);
+  let phases = Array.of_list phases in
+  let cycle = Array.fold_left (fun acc p -> acc +. p.duration) 0.0 phases in
+  assert (cycle > 0.0);
+  { phases; cycle }
+
+let cycle_length t = t.cycle
+
+let phase_at t time =
+  let offset = Float.rem (Stdlib.max 0.0 time) t.cycle in
+  let rec find i acc =
+    if i >= Array.length t.phases - 1 then t.phases.(Array.length t.phases - 1)
+    else if offset < acc +. t.phases.(i).duration then t.phases.(i)
+    else find (i + 1) (acc +. t.phases.(i).duration)
+  in
+  find 0 0.0
+
+let params_at t time = (phase_at t time).params
+
+(* Three custom queries with a uniform access pattern whose partition-ID
+   interval is fixed within a period and shifts between periods
+   (§VI-C2): co-accessed neighbour pairs drawn uniformly from a
+   contiguous third of the partition space, the third rotating each
+   period. *)
+let hotspot_interval ~base ~period =
+  let third = Stdlib.max 1 (base.Ycsb.partitions / 3) in
+  let phase i =
+    {
+      name = Printf.sprintf "interval-%d" i;
+      duration = period;
+      params =
+        {
+          base with
+          Ycsb.skew_factor = 1.0;
+          cross_ratio = 1.0;
+          hot_node = 0;
+          hot_span = third;
+          hot_contiguous = true;
+          partition_offset = i * third;
+        };
+    }
+  in
+  of_phases [ phase 0; phase 1; phase 2 ]
+
+let hotspot_position ~base ~period =
+  let skewed = { base with Ycsb.skew_factor = 0.8; hot_span = 2 } in
+  of_phases
+    [
+      {
+        name = "A:uniform-50";
+        duration = period;
+        params = { base with Ycsb.skew_factor = 0.0; cross_ratio = 0.5 };
+      };
+      { name = "B:skew-50"; duration = period; params = { skewed with Ycsb.cross_ratio = 0.5 } };
+      { name = "C:skew-100"; duration = period; params = { skewed with Ycsb.cross_ratio = 1.0 } };
+      {
+        name = "D:skew-100-shift";
+        duration = period;
+        params =
+          {
+            skewed with
+            Ycsb.cross_ratio = 1.0;
+            partition_offset = base.Ycsb.partitions / 2;
+          };
+      };
+    ]
+
+type schedule = t
+
+module Driver = struct
+  type t = { schedule : schedule; gen : Ycsb.t }
+
+  let create ~schedule ~gen = { schedule; gen }
+
+  let next t ~time =
+    let p = params_at t.schedule time in
+    if p <> Ycsb.params t.gen then Ycsb.set_params t.gen p;
+    Ycsb.next t.gen
+
+  let phase_name t ~time = (phase_at t.schedule time).name
+end

@@ -1,0 +1,44 @@
+(** Dynamic workload schedules (§VI-C2): the workload cycles through
+    fixed-length periods, each with distinct access patterns touching
+    non-overlapping partitions, creating moving hotspots.
+
+    Two scenarios from the paper:
+    - {b hotspot interval}: three uniform-access queries whose partition
+      ID intervals are fixed within a period and shift between periods;
+    - {b hotspot position}: four periods A/B/C/D — uniform with 50 %
+      cross-ratio, skewed 50 %, skewed 100 %, skewed 100 % with a
+      partition-offset distribution shift. *)
+
+type phase = { name : string; duration : float; params : Ycsb.params }
+
+type t
+
+val of_phases : phase list -> t
+(** The schedule cycles through the phases forever. *)
+
+val cycle_length : t -> float
+
+val phase_at : t -> float -> phase
+(** Phase active at an absolute simulated time. *)
+
+val params_at : t -> float -> Ycsb.params
+
+val hotspot_interval : base:Ycsb.params -> period:float -> t
+(** Three periods; each confines uniform access to a different third of
+    the partition space (via hotspot span + offset). *)
+
+val hotspot_position : base:Ycsb.params -> period:float -> t
+(** The A/B/C/D scenario. *)
+
+type schedule = t
+(** Alias so submodules can refer to the schedule type. *)
+
+(** A generator that re-parameterises an YCSB generator according to the
+    schedule before every draw. *)
+module Driver : sig
+  type t
+
+  val create : schedule:schedule -> gen:Ycsb.t -> t
+  val next : t -> time:float -> Txn.t
+  val phase_name : t -> time:float -> string
+end

@@ -1,0 +1,39 @@
+(** SmallBank benchmark: six short banking transactions over paired
+    checking/savings accounts — a classic OLTP contention benchmark and
+    a natural fit for transaction-localization protocols, because the
+    two-account transactions (SendPayment, Amalgamate) follow recurring
+    customer relationships that an adaptive placer can co-locate.
+
+    Accounts are range-partitioned; a customer's partner account (the
+    recurring payee) lives in the next partition, so two-account
+    transactions are cross-partition under the round-robin layout until
+    a protocol co-locates the partition pairs, mirroring the YCSB
+    neighbour-template construction. *)
+
+type params = {
+  partitions : int;
+  nodes : int;
+  accounts_per_partition : int;
+  hot_accounts : float;  (** zipf skew over accounts within a partition *)
+  two_account_ratio : float;
+      (** fraction of SendPayment/Amalgamate transactions (the
+          cross-partition pressure knob) *)
+  skew_factor : float;  (** probability the home partition is hot *)
+  hot_node : int;
+  hot_span : int;
+}
+
+val default_params : partitions:int -> nodes:int -> params
+
+type t
+
+val create : ?seed:int -> params -> t
+val params : t -> params
+val next : t -> Txn.t
+
+(** Slot layout, exposed for tests: each account has a checking and a
+    savings row. *)
+module Layout : sig
+  val checking_slot : int -> int
+  val savings_slot : int -> int
+end

@@ -1,0 +1,54 @@
+(** TPC-C workload focused on NewOrder (§VI-A1), warehouse-partitioned.
+
+    One warehouse = one partition. Rows are mapped into a partition's
+    key space by table-specific slot ranges (warehouse row, 10 district
+    rows, 30 k customer rows, 100 k stock rows, growing order rows).
+    NewOrder reads the warehouse and customer, read-modify-writes the
+    district (the D_NEXT_O_ID hotspot), inserts an order row, and
+    read-modify-writes the stock row of each of its 5–15 order lines.
+    A transaction is cross-partition (probability [cross_ratio]) when at
+    least one order line supplies from a remote warehouse, matching the
+    benchmark's remote-supply mechanism. Payment transactions (mixed in
+    with [payment_ratio]) update warehouse, district and customer, with
+    15 % remote customers. *)
+
+type params = {
+  warehouses : int;
+  nodes : int;
+  skew_factor : float;  (** probability the home warehouse is hot *)
+  cross_ratio : float;  (** fraction of cross-partition NewOrders *)
+  full_mix : bool;
+      (** false (default, the paper's setting): NewOrder only, plus
+          Payments per [payment_ratio]. true: the standard TPC-C mix —
+          45 % NewOrder, 43 % Payment, 4 % OrderStatus, 4 % Delivery,
+          4 % StockLevel ([payment_ratio] is then ignored). *)
+  neighbor_remote : bool;
+      (** true (default): remote supply comes from the next warehouse —
+          the recurring "same customer buys from the same other
+          warehouse" affinity the paper simulates, which an adaptive
+          protocol can co-locate. false: remote warehouse uniform. *)
+  payment_ratio : float;  (** fraction of Payment transactions *)
+  hot_node : int;
+  hot_span : int;  (** hot warehouses per node *)
+  partition_offset : int;
+}
+
+val default_params : warehouses:int -> nodes:int -> params
+
+type t
+
+val create : ?seed:int -> params -> t
+val params : t -> params
+val set_params : t -> params -> unit
+val next : t -> Txn.t
+
+(** Slot layout, exposed for tests. *)
+module Layout : sig
+  val warehouse_slot : int
+  val district_slot : int -> int
+  val customer_slot : int -> int
+  val stock_slot : int -> int
+  val order_slot : int -> int
+  val new_order_queue_slot : int -> int
+  (** Per-district NEW-ORDER queue head, consumed by Delivery. *)
+end

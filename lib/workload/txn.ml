@@ -1,0 +1,28 @@
+module Kvstore = Lion_store.Kvstore
+
+type op = Read of Kvstore.key | Write of Kvstore.key
+
+type t = { id : int; ops : op list; parts : int list }
+
+let key_of = function Read k -> k | Write k -> k
+let is_write = function Write _ -> true | Read _ -> false
+
+let parts_of_ops ops =
+  List.sort_uniq compare (List.map (fun op -> (key_of op).Kvstore.part) ops)
+
+let make ~id ops = { id; ops; parts = parts_of_ops ops }
+let is_cross_partition t = match t.parts with [] | [ _ ] -> false | _ -> true
+
+let read_keys t =
+  List.filter_map (function Read k -> Some k | Write _ -> None) t.ops
+
+let write_keys t =
+  List.filter_map (function Write k -> Some k | Read _ -> None) t.ops
+
+let pp fmt t =
+  Format.fprintf fmt "T%d{%a}" t.id
+    (Format.pp_print_list ~pp_sep:(fun f () -> Format.pp_print_string f ",")
+       (fun f op ->
+         let tag = if is_write op then "W" else "R" in
+         Format.fprintf f "%s(%a)" tag Kvstore.pp_key (key_of op)))
+    t.ops

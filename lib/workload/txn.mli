@@ -1,0 +1,30 @@
+(** Transaction descriptors.
+
+    A transaction is a list of keyed read/write operations; its
+    TxnParts — the distinct partitions touched — is what the planner's
+    heat graph and the router consume (§IV-A: partitions are known after
+    SQL parsing / query optimisation, recorded in TxnMeta). *)
+
+type op = Read of Lion_store.Kvstore.key | Write of Lion_store.Kvstore.key
+
+type t = {
+  id : int;
+  ops : op list;
+  parts : int list;  (** distinct partitions, ascending *)
+}
+
+val make : id:int -> op list -> t
+(** Computes [parts] from the operations. *)
+
+val key_of : op -> Lion_store.Kvstore.key
+val is_write : op -> bool
+
+val is_cross_partition : t -> bool
+(** More than one distinct partition. *)
+
+val parts_of_ops : op list -> int list
+
+val read_keys : t -> Lion_store.Kvstore.key list
+val write_keys : t -> Lion_store.Kvstore.key list
+
+val pp : Format.formatter -> t -> unit

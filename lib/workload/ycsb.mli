@@ -1,0 +1,68 @@
+(** YCSB-style transactional workload (§VI-A1).
+
+    Each transaction performs [ops_per_txn] read-modify-write/read
+    operations. The home partition is drawn from a hot node's partitions
+    with probability [skew_factor] ("80 % of transactions tend to access
+    the partitions in one node"), otherwise uniformly. With probability
+    [cross_ratio] the transaction is cross-partition and touches exactly
+    two partitions (the paper's setting), splitting its operations
+    between them. Keys inside a partition are zipfian. *)
+
+type params = {
+  partitions : int;
+  nodes : int;
+  keys_per_partition : int;
+  ops_per_txn : int;
+  write_ratio : float;  (** probability an op is a write *)
+  skew_factor : float;  (** 0 = uniform, 0.8 = paper's skewed setting *)
+  cross_ratio : float;  (** fraction of cross-partition transactions *)
+  neighbor_cross : bool;
+      (** true (default): a cross-partition transaction pairs its home
+          partition with the next partition id — a recurring co-access
+          template that the round-robin layout always splits across two
+          nodes (hence "100 % distributed" before adaptation), and that
+          an adaptive protocol can co-locate. false: the second
+          partition is drawn independently (unstructured co-access,
+          used by ablation stress tests) *)
+  hot_node : int;  (** the node whose partitions form the hotspot *)
+  hot_span : int;
+      (** size of the hotspot in partitions; see [hot_contiguous] for
+          how the members are chosen *)
+  hot_contiguous : bool;
+      (** false (default): the hotspot is the hot {e node}'s partitions
+          (stride = node count under the round-robin layout) — load
+          lands on one node, the §VI-C1 skew setting. true: the hotspot
+          is the contiguous partition-ID interval [0, hot_span), before
+          rotation by [partition_offset] — the §VI-C2 hotspot-interval
+          scenario, where the interval shifts between periods. *)
+  partition_offset : int;
+      (** rotate every partition choice by this amount — used by the
+          dynamic scenarios to shift the hotspot position *)
+  key_theta : float;  (** zipfian skew of the key within a partition *)
+}
+
+val default_params : partitions:int -> nodes:int -> params
+(** ops_per_txn = 10, write_ratio = 0.5, uniform, no cross. *)
+
+val workload_mix : partitions:int -> nodes:int -> char -> params
+(** The standard YCSB workload letters, as operation-mix presets over
+    [default_params]:
+    - A: update-heavy (50 % writes)
+    - B: read-mostly (5 % writes)
+    - C: read-only
+    - D: read-latest (5 % writes, fresh keys favoured — approximated by
+      a steeper key zipf)
+    - E: short scans (modelled as 10-key read bursts in one partition)
+    - F: read-modify-write (50 % writes, RMW semantics — identical to A
+      under this store's RMW write model)
+    Raises [Invalid_argument] on other letters. *)
+
+type t
+
+val create : ?seed:int -> params -> t
+val params : t -> params
+val set_params : t -> params -> unit
+(** Swap parameters in place (dynamic workloads switch phases without
+    disturbing the id sequence or the RNG stream). *)
+
+val next : t -> Txn.t

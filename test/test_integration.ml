@@ -1,0 +1,153 @@
+(* Cross-module integration tests: the harness runner end-to-end, the
+   determinism guarantee, and the paper's headline qualitative shapes
+   on miniature configurations (full-size shapes are exercised by the
+   benchmark executable). *)
+
+module Config = Lion_store.Config
+module Runner = Lion_harness.Runner
+module Workloads = Lion_harness.Workloads
+module Metrics = Lion_sim.Metrics
+
+let tiny =
+  { Runner.quick with Runner.warmup = 1.0; duration = 2.0; tick_every = 0.5 }
+
+let cfg = Config.default
+
+let run ?(batch = false) ?(rc = tiny) make gen =
+  Runner.run ~seed:1 ~batch ~cfg ~make ~gen rc
+
+let test_runner_produces_consistent_result () =
+  let r = run Lion_protocols.Twopc.create (Workloads.ycsb ~cross:0.5 cfg) in
+  Alcotest.(check bool) "positive throughput" true (r.Runner.throughput > 0.0);
+  Alcotest.(check bool) "commits counted" true (r.Runner.commits > 0);
+  Alcotest.(check bool) "p50 <= p95" true (r.Runner.p50 <= r.Runner.p95);
+  Alcotest.(check bool) "ratio bounded" true
+    (r.Runner.single_node_ratio >= 0.0 && r.Runner.single_node_ratio <= 1.0);
+  Alcotest.(check bool) "series covers run" true
+    (Array.length r.Runner.throughput_series >= 2)
+
+let test_runner_deterministic () =
+  let go () = (run Lion_protocols.Twopc.create (Workloads.ycsb ~cross:0.5 cfg)).Runner.commits in
+  Alcotest.(check int) "same seed same commits" (go ()) (go ())
+
+let test_runner_seed_changes_result () =
+  let go seed =
+    (Runner.run ~seed ~cfg ~make:Lion_protocols.Twopc.create
+       ~gen:(Workloads.ycsb ~skew:0.5 ~cross:0.5 cfg)
+       tiny)
+      .Runner.commits
+  in
+  (* Different seeds shift the simulation at least slightly. *)
+  Alcotest.(check bool) "seeds matter" true (go 1 <> go 2 || go 1 <> go 3)
+
+let test_phase_fractions_sum_to_one () =
+  let r = run Lion_protocols.Twopc.create (Workloads.ycsb ~cross:1.0 cfg) in
+  let total = List.fold_left (fun acc (_, f) -> acc +. f) 0.0 r.Runner.phase_fractions in
+  Alcotest.(check (float 1e-6)) "fractions sum" 1.0 total
+
+let test_batch_runner_records_bytes () =
+  let r = run ~batch:true Lion_protocols.Star.create (Workloads.ycsb ~cross:0.5 cfg) in
+  Alcotest.(check bool) "bytes per txn positive" true (r.Runner.bytes_per_txn > 0.0)
+
+(* --- headline shapes on small runs --- *)
+
+let test_lion_beats_2pc_on_distributed_workload () =
+  let rc = { Runner.quick with Runner.warmup = 5.0; duration = 4.0 } in
+  let gen () = Workloads.ycsb ~cross:1.0 cfg in
+  let lion =
+    Runner.run ~seed:1 ~cfg
+      ~make:(fun cl ->
+        Lion_core.Standard.create
+          ~config:{ Lion_core.Planner.default_config with predict = false; use_lstm = false }
+          cl)
+      ~gen:(gen ()) rc
+  in
+  let twopc = Runner.run ~seed:1 ~cfg ~make:Lion_protocols.Twopc.create ~gen:(gen ()) rc in
+  Alcotest.(check bool)
+    (Printf.sprintf "Lion %.0f > 1.5x 2PC %.0f" lion.Runner.throughput
+       twopc.Runner.throughput)
+    true
+    (lion.Runner.throughput > 1.5 *. twopc.Runner.throughput)
+
+let test_lion_single_node_ratio_rises () =
+  let rc = { Runner.quick with Runner.warmup = 5.0; duration = 4.0 } in
+  let r =
+    Runner.run ~seed:1 ~cfg
+      ~make:(fun cl ->
+        Lion_core.Standard.create
+          ~config:{ Lion_core.Planner.default_config with predict = false; use_lstm = false }
+          cl)
+      ~gen:(Workloads.ycsb ~cross:1.0 cfg) rc
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "single-node ratio %.2f" r.Runner.single_node_ratio)
+    true (r.Runner.single_node_ratio > 0.5)
+
+let test_star_flat_across_cross_ratio () =
+  let rc = { Runner.quick with Runner.warmup = 2.0; duration = 2.0 } in
+  let at ratio =
+    (Runner.run ~seed:1 ~batch:true ~cfg ~make:Lion_protocols.Star.create
+       ~gen:(Workloads.ycsb ~cross:ratio cfg) rc)
+      .Runner.throughput
+  in
+  let lo = at 0.3 and hi = at 1.0 in
+  (* Star's throughput is bounded by the super node, so it must not
+     gain from more cross-partition work — and should not collapse
+     either (everything is single-node there). *)
+  Alcotest.(check bool)
+    (Printf.sprintf "hi %.0f <= lo %.0f within 25%%" hi lo)
+    true
+    (hi <= lo *. 1.25)
+
+let test_tpcc_runs_under_lion () =
+  let r =
+    run
+      (fun cl ->
+        Lion_core.Standard.create
+          ~config:{ Lion_core.Planner.default_config with predict = false; use_lstm = false }
+          cl)
+      (Workloads.tpcc ~skew:0.5 ~cross:0.3 cfg)
+  in
+  Alcotest.(check bool) "TPC-C commits" true (r.Runner.commits > 0)
+
+let test_dynamic_workload_runs () =
+  let rc = { Runner.quick with Runner.warmup = 0.0; duration = 5.0 } in
+  let r =
+    Runner.run ~seed:1 ~cfg ~make:Lion_protocols.Twopc.create
+      ~gen:(Workloads.dynamic_position ~period:2.0 cfg)
+      rc
+  in
+  Alcotest.(check bool) "survives phase switches" true (r.Runner.commits > 0)
+
+let test_experiments_registry_complete () =
+  let ids = List.map (fun (id, _, _) -> id) Lion_harness.Experiments.registry in
+  List.iter
+    (fun expected ->
+      Alcotest.(check bool) (expected ^ " present") true (List.mem expected ids))
+    [
+      "table1"; "fig6"; "fig7"; "fig8"; "fig9"; "fig10"; "fig11"; "fig12"; "fig13a";
+      "fig13b"; "fig14";
+    ]
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "runner",
+        [
+          Alcotest.test_case "consistent result" `Quick test_runner_produces_consistent_result;
+          Alcotest.test_case "deterministic" `Quick test_runner_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_runner_seed_changes_result;
+          Alcotest.test_case "phase fractions" `Quick test_phase_fractions_sum_to_one;
+          Alcotest.test_case "batch bytes" `Quick test_batch_runner_records_bytes;
+        ] );
+      ( "shapes",
+        [
+          Alcotest.test_case "Lion beats 2PC" `Slow test_lion_beats_2pc_on_distributed_workload;
+          Alcotest.test_case "conversion ratio" `Slow test_lion_single_node_ratio_rises;
+          Alcotest.test_case "Star capped" `Slow test_star_flat_across_cross_ratio;
+          Alcotest.test_case "TPC-C under Lion" `Quick test_tpcc_runs_under_lion;
+          Alcotest.test_case "dynamic workload" `Quick test_dynamic_workload_runs;
+        ] );
+      ( "experiments",
+        [ Alcotest.test_case "registry complete" `Quick test_experiments_registry_complete ] );
+    ]

@@ -1,0 +1,367 @@
+(* Unit and property tests for lion_kernel: PRNG, zipfian sampling,
+   priority queue, statistics, time series, table rendering. *)
+
+open Lion_kernel
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Rng.int a 1000) (Rng.int b 1000)
+  done
+
+let test_rng_split_independent () =
+  let root = Rng.create 7 in
+  let child = Rng.split root in
+  let parent_draws = List.init 50 (fun _ -> Rng.int root 1_000_000) in
+  let child_draws = List.init 50 (fun _ -> Rng.int child 1_000_000) in
+  Alcotest.(check bool) "streams differ" true (parent_draws <> child_draws)
+
+let test_rng_bounds () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 10_000 do
+    let x = Rng.int rng 17 in
+    Alcotest.(check bool) "in range" true (x >= 0 && x < 17)
+  done
+
+let test_rng_int_in () =
+  let rng = Rng.create 5 in
+  for _ = 1 to 1_000 do
+    let x = Rng.int_in rng 5 15 in
+    Alcotest.(check bool) "inclusive range" true (x >= 5 && x <= 15)
+  done
+
+let test_rng_float_unit () =
+  let rng = Rng.create 9 in
+  for _ = 1 to 10_000 do
+    let x = Rng.float rng 1.0 in
+    Alcotest.(check bool) "in [0,1)" true (x >= 0.0 && x < 1.0)
+  done
+
+let test_rng_bernoulli_extremes () =
+  let rng = Rng.create 11 in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "p=0 never" false (Rng.bernoulli rng 0.0)
+  done;
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "p=1 always" true (Rng.bernoulli rng 1.0)
+  done
+
+let test_rng_mean () =
+  let rng = Rng.create 13 in
+  let n = 100_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Rng.float rng 1.0
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check bool) "mean near 0.5" true (Float.abs (mean -. 0.5) < 0.01)
+
+let test_rng_gaussian_moments () =
+  let rng = Rng.create 17 in
+  let n = 50_000 in
+  let sum = ref 0.0 and sq = ref 0.0 in
+  for _ = 1 to n do
+    let x = Rng.gaussian rng ~mu:3.0 ~sigma:2.0 in
+    sum := !sum +. x;
+    sq := !sq +. (x *. x)
+  done;
+  let mean = !sum /. float_of_int n in
+  let var = (!sq /. float_of_int n) -. (mean *. mean) in
+  Alcotest.(check bool) "mean near 3" true (Float.abs (mean -. 3.0) < 0.05);
+  Alcotest.(check bool) "variance near 4" true (Float.abs (var -. 4.0) < 0.15)
+
+let test_shuffle_permutation () =
+  let rng = Rng.create 19 in
+  let a = Array.init 100 (fun i -> i) in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "same elements" (Array.init 100 (fun i -> i)) sorted
+
+let test_rng_choose_and_exponential () =
+  let rng = Rng.create 21 in
+  let a = [| "x"; "y"; "z" |] in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "choose from array" true (Array.mem (Rng.choose rng a) a)
+  done;
+  let n = 20_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    let x = Rng.exponential rng 5.0 in
+    Alcotest.(check bool) "non-negative" true (x >= 0.0);
+    sum := !sum +. x
+  done;
+  Alcotest.(check bool) "mean near 5" true
+    (Float.abs ((!sum /. float_of_int n) -. 5.0) < 0.25)
+
+let test_stats_mean_of () =
+  Alcotest.(check (float 1e-9)) "mean" 2.0 (Stats.mean_of [ 1.0; 2.0; 3.0 ]);
+  Alcotest.(check (float 1e-9)) "empty" 0.0 (Stats.mean_of [])
+
+(* --- zipf --- *)
+
+let test_zipf_uniform_when_theta0 () =
+  let rng = Rng.create 23 in
+  let z = Zipf.create ~n:10 ~theta:0.0 in
+  let counts = Array.make 10 0 in
+  for _ = 1 to 50_000 do
+    let x = Zipf.sample z rng in
+    counts.(x) <- counts.(x) + 1
+  done;
+  Array.iter
+    (fun c -> Alcotest.(check bool) "roughly uniform" true (abs (c - 5000) < 600))
+    counts
+
+let test_zipf_skew_orders_ranks () =
+  let rng = Rng.create 29 in
+  let z = Zipf.create ~n:1000 ~theta:0.99 in
+  let counts = Array.make 1000 0 in
+  for _ = 1 to 100_000 do
+    let x = Zipf.sample z rng in
+    counts.(x) <- counts.(x) + 1
+  done;
+  Alcotest.(check bool) "rank0 beats rank10" true (counts.(0) > counts.(10));
+  Alcotest.(check bool) "rank0 beats rank100" true (counts.(0) > counts.(100));
+  Alcotest.(check bool) "rank0 is heavy" true (counts.(0) > 5_000)
+
+let test_zipf_range_property =
+  QCheck.Test.make ~name:"zipf samples stay in range" ~count:200
+    QCheck.(pair (int_range 1 5000) (float_range 0.0 1.2))
+    (fun (n, theta) ->
+      let rng = Rng.create 31 in
+      let z = Zipf.create ~n ~theta in
+      List.for_all
+        (fun _ ->
+          let x = Zipf.sample z rng in
+          x >= 0 && x < n)
+        (List.init 50 Fun.id))
+
+(* --- pqueue --- *)
+
+let test_pqueue_ordering () =
+  let q = Pqueue.create () in
+  List.iter (fun k -> Pqueue.push q k k) [ 5.0; 1.0; 3.0; 2.0; 4.0 ];
+  let order = List.init 5 (fun _ -> fst (Option.get (Pqueue.pop q))) in
+  Alcotest.(check (list (float 1e-9))) "ascending" [ 1.0; 2.0; 3.0; 4.0; 5.0 ] order
+
+let test_pqueue_fifo_ties () =
+  let q = Pqueue.create () in
+  Pqueue.push q 1.0 "a";
+  Pqueue.push q 1.0 "b";
+  Pqueue.push q 1.0 "c";
+  let order = List.init 3 (fun _ -> snd (Option.get (Pqueue.pop q))) in
+  Alcotest.(check (list string)) "insertion order among ties" [ "a"; "b"; "c" ] order
+
+let test_pqueue_empty () =
+  let q : int Pqueue.t = Pqueue.create () in
+  Alcotest.(check bool) "empty" true (Pqueue.is_empty q);
+  Alcotest.(check bool) "pop none" true (Pqueue.pop q = None);
+  Alcotest.(check bool) "peek none" true (Pqueue.peek q = None)
+
+let test_pqueue_peek_does_not_remove () =
+  let q = Pqueue.create () in
+  Pqueue.push q 2.0 "x";
+  ignore (Pqueue.peek q);
+  Alcotest.(check int) "still one element" 1 (Pqueue.length q)
+
+let test_pqueue_heap_property =
+  QCheck.Test.make ~name:"pqueue pops sorted" ~count:100
+    QCheck.(list (float_range 0.0 1000.0))
+    (fun keys ->
+      let q = Pqueue.create () in
+      List.iter (fun k -> Pqueue.push q k ()) keys;
+      let rec drain acc =
+        match Pqueue.pop q with None -> List.rev acc | Some (k, ()) -> drain (k :: acc)
+      in
+      drain [] = List.sort compare keys)
+
+let test_pqueue_to_list_preserves () =
+  let q = Pqueue.create () in
+  List.iter (fun k -> Pqueue.push q (float_of_int k) k) [ 3; 1; 2 ];
+  let snapshot = Pqueue.to_list q in
+  Alcotest.(check int) "queue intact" 3 (Pqueue.length q);
+  Alcotest.(check (list int)) "sorted snapshot" [ 1; 2; 3 ] (List.map snd snapshot)
+
+(* --- stats --- *)
+
+let test_running_moments () =
+  let r = Stats.Running.create () in
+  List.iter (Stats.Running.add r) [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ];
+  Alcotest.(check (float 1e-9)) "mean" 5.0 (Stats.Running.mean r);
+  Alcotest.(check (float 1e-6)) "stddev (sample)" (sqrt (32.0 /. 7.0)) (Stats.Running.stddev r);
+  Alcotest.(check (float 1e-9)) "min" 2.0 (Stats.Running.min r);
+  Alcotest.(check (float 1e-9)) "max" 9.0 (Stats.Running.max r)
+
+let test_running_empty () =
+  let r = Stats.Running.create () in
+  Alcotest.(check (float 0.0)) "mean of empty" 0.0 (Stats.Running.mean r);
+  Alcotest.(check (float 0.0)) "variance of empty" 0.0 (Stats.Running.variance r)
+
+let test_percentiles_exact () =
+  let sorted = [| 1.0; 2.0; 3.0; 4.0; 5.0 |] in
+  Alcotest.(check (float 1e-9)) "p0" 1.0 (Stats.percentile_of_sorted sorted 0.0);
+  Alcotest.(check (float 1e-9)) "p50" 3.0 (Stats.percentile_of_sorted sorted 50.0);
+  Alcotest.(check (float 1e-9)) "p100" 5.0 (Stats.percentile_of_sorted sorted 100.0);
+  Alcotest.(check (float 1e-9)) "p25 interpolates" 2.0 (Stats.percentile_of_sorted sorted 25.0)
+
+let test_reservoir_small_is_exact () =
+  let r = Stats.Reservoir.create ~capacity:100 (Rng.create 1) in
+  for i = 1 to 50 do
+    Stats.Reservoir.add r (float_of_int i)
+  done;
+  Alcotest.(check (float 1e-9)) "median" 25.5 (Stats.Reservoir.percentile r 50.0);
+  Alcotest.(check int) "count" 50 (Stats.Reservoir.count r)
+
+let test_reservoir_large_approximates () =
+  let r = Stats.Reservoir.create ~capacity:1024 (Rng.create 2) in
+  for i = 1 to 100_000 do
+    Stats.Reservoir.add r (float_of_int i)
+  done;
+  let p50 = Stats.Reservoir.percentile r 50.0 in
+  Alcotest.(check bool) "p50 near 50000" true (Float.abs (p50 -. 50_000.0) < 5_000.0);
+  Alcotest.(check int) "count tracks all" 100_000 (Stats.Reservoir.count r)
+
+let test_cosine_similarity () =
+  Alcotest.(check (float 1e-9)) "identical" 1.0
+    (Stats.cosine_similarity [| 1.0; 2.0 |] [| 2.0; 4.0 |]);
+  Alcotest.(check (float 1e-9)) "orthogonal" 0.0
+    (Stats.cosine_similarity [| 1.0; 0.0 |] [| 0.0; 1.0 |]);
+  Alcotest.(check (float 1e-9)) "zero vector" 0.0
+    (Stats.cosine_similarity [| 0.0; 0.0 |] [| 1.0; 1.0 |]);
+  Alcotest.(check (float 1e-9)) "opposite" (-1.0)
+    (Stats.cosine_similarity [| 1.0; 1.0 |] [| -1.0; -1.0 |])
+
+(* --- timeseries --- *)
+
+let test_timeseries_bucketing () =
+  let ts = Timeseries.create ~interval:10.0 in
+  Timeseries.add ts ~time:0.0 1.0;
+  Timeseries.add ts ~time:9.99 1.0;
+  Timeseries.add ts ~time:10.0 5.0;
+  Timeseries.add ts ~time:25.0 2.0;
+  Alcotest.(check (float 1e-9)) "bucket 0" 2.0 (Timeseries.get ts 0);
+  Alcotest.(check (float 1e-9)) "bucket 1" 5.0 (Timeseries.get ts 1);
+  Alcotest.(check (float 1e-9)) "bucket 2" 2.0 (Timeseries.get ts 2);
+  Alcotest.(check int) "bucket count" 3 (Timeseries.bucket_count ts)
+
+let test_timeseries_negative_clamped () =
+  let ts = Timeseries.create ~interval:1.0 in
+  Timeseries.add ts ~time:(-5.0) 3.0;
+  Alcotest.(check (float 1e-9)) "clamped to bucket 0" 3.0 (Timeseries.get ts 0)
+
+let test_timeseries_last_n_padding () =
+  let ts = Timeseries.create ~interval:1.0 in
+  Timeseries.incr ts ~time:0.5;
+  Timeseries.incr ts ~time:1.5;
+  let w = Timeseries.last_n ts 4 in
+  Alcotest.(check (array (float 1e-9))) "left-padded" [| 0.0; 0.0; 1.0; 1.0 |] w
+
+let test_timeseries_range () =
+  let ts = Timeseries.create ~interval:1.0 in
+  for i = 0 to 9 do
+    Timeseries.add ts ~time:(float_of_int i) (float_of_int i)
+  done;
+  Alcotest.(check (array (float 1e-9)))
+    "middle slice" [| 3.0; 4.0; 5.0 |]
+    (Timeseries.range ts ~lo:3 ~hi:5);
+  Alcotest.(check (array (float 1e-9)))
+    "out of range pads" [| 0.0; 0.0 |]
+    (Timeseries.range ts ~lo:20 ~hi:21)
+
+let test_timeseries_sum_range () =
+  let ts = Timeseries.create ~interval:1.0 in
+  for i = 0 to 9 do
+    Timeseries.incr ts ~time:(float_of_int i)
+  done;
+  Alcotest.(check (float 1e-9)) "sum of 10" 10.0 (Timeseries.sum_range ts 0 9);
+  Alcotest.(check (float 1e-9)) "partial" 3.0 (Timeseries.sum_range ts 2 4)
+
+let test_timeseries_growth () =
+  let ts = Timeseries.create ~interval:1.0 in
+  Timeseries.incr ts ~time:5000.0;
+  Alcotest.(check int) "grows to bucket" 5001 (Timeseries.bucket_count ts);
+  Alcotest.(check (float 1e-9)) "value present" 1.0 (Timeseries.get ts 5000)
+
+(* --- table --- *)
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let test_table_renders_aligned () =
+  let t = Table.create ~title:"T" ~columns:[ "a"; "bb" ] in
+  Table.add_row t [ "xxx"; "y" ];
+  let s = Table.render t in
+  Alcotest.(check bool) "has cell" true (contains s "xxx");
+  Alcotest.(check bool) "has header" true (contains s "bb")
+
+let test_table_pads_short_rows () =
+  let t = Table.create ~title:"T" ~columns:[ "a"; "b"; "c" ] in
+  Table.add_row t [ "only" ];
+  ignore (Table.render t)
+
+let test_table_cell_formatting () =
+  Alcotest.(check string) "float cell" "3.1" (Table.cell_float 3.14159);
+  Alcotest.(check string) "float decimals" "3.14" (Table.cell_float ~decimals:2 3.14159);
+  Alcotest.(check string) "int cell" "42" (Table.cell_int 42)
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "lion_kernel"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "split independent" `Quick test_rng_split_independent;
+          Alcotest.test_case "int bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "int_in inclusive" `Quick test_rng_int_in;
+          Alcotest.test_case "float in unit" `Quick test_rng_float_unit;
+          Alcotest.test_case "bernoulli extremes" `Quick test_rng_bernoulli_extremes;
+          Alcotest.test_case "uniform mean" `Slow test_rng_mean;
+          Alcotest.test_case "gaussian moments" `Slow test_rng_gaussian_moments;
+          Alcotest.test_case "shuffle is a permutation" `Quick test_shuffle_permutation;
+          Alcotest.test_case "choose and exponential" `Quick test_rng_choose_and_exponential;
+        ] );
+      ( "zipf",
+        [
+          Alcotest.test_case "theta 0 is uniform" `Slow test_zipf_uniform_when_theta0;
+          Alcotest.test_case "skew orders ranks" `Slow test_zipf_skew_orders_ranks;
+        ] );
+      qsuite "zipf-props" [ test_zipf_range_property ];
+      ( "pqueue",
+        [
+          Alcotest.test_case "orders by key" `Quick test_pqueue_ordering;
+          Alcotest.test_case "FIFO among ties" `Quick test_pqueue_fifo_ties;
+          Alcotest.test_case "empty behaviour" `Quick test_pqueue_empty;
+          Alcotest.test_case "peek non-destructive" `Quick test_pqueue_peek_does_not_remove;
+          Alcotest.test_case "to_list sorted snapshot" `Quick test_pqueue_to_list_preserves;
+        ] );
+      qsuite "pqueue-props" [ test_pqueue_heap_property ];
+      ( "stats",
+        [
+          Alcotest.test_case "running moments" `Quick test_running_moments;
+          Alcotest.test_case "running empty" `Quick test_running_empty;
+          Alcotest.test_case "percentiles" `Quick test_percentiles_exact;
+          Alcotest.test_case "reservoir exact when small" `Quick test_reservoir_small_is_exact;
+          Alcotest.test_case "reservoir approximates" `Slow test_reservoir_large_approximates;
+          Alcotest.test_case "cosine similarity" `Quick test_cosine_similarity;
+          Alcotest.test_case "mean_of" `Quick test_stats_mean_of;
+        ] );
+      ( "timeseries",
+        [
+          Alcotest.test_case "bucketing" `Quick test_timeseries_bucketing;
+          Alcotest.test_case "negative time clamped" `Quick test_timeseries_negative_clamped;
+          Alcotest.test_case "last_n pads" `Quick test_timeseries_last_n_padding;
+          Alcotest.test_case "range slice" `Quick test_timeseries_range;
+          Alcotest.test_case "sum_range" `Quick test_timeseries_sum_range;
+          Alcotest.test_case "sparse growth" `Quick test_timeseries_growth;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "renders" `Quick test_table_renders_aligned;
+          Alcotest.test_case "pads short rows" `Quick test_table_pads_short_rows;
+          Alcotest.test_case "cell formatting" `Quick test_table_cell_formatting;
+        ] );
+    ]

@@ -1,0 +1,309 @@
+(* Tests for the from-scratch LSTM stack: matrix kernels, gradient
+   checking, learning sanity, dataset windowing. *)
+
+module Matrix = Lion_nn.Matrix
+module Lstm = Lion_nn.Lstm
+module Dataset = Lion_nn.Dataset
+module Rng = Lion_kernel.Rng
+
+(* --- matrix --- *)
+
+let test_matvec () =
+  let a = Matrix.of_fun 2 3 (fun i j -> float_of_int ((i * 3) + j)) in
+  (* [[0 1 2];[3 4 5]] · [1;1;1] = [3;12] *)
+  Alcotest.(check (array (float 1e-9))) "matvec" [| 3.0; 12.0 |]
+    (Matrix.matvec a [| 1.0; 1.0; 1.0 |])
+
+let test_matvec_t () =
+  let a = Matrix.of_fun 2 3 (fun i j -> float_of_int ((i * 3) + j)) in
+  (* Aᵀ·[1;1] = column sums = [3;5;7] *)
+  Alcotest.(check (array (float 1e-9))) "matvec_t" [| 3.0; 5.0; 7.0 |]
+    (Matrix.matvec_t a [| 1.0; 1.0 |])
+
+let test_outer_acc () =
+  let a = Matrix.zeros 2 2 in
+  Matrix.outer_acc a [| 1.0; 2.0 |] [| 3.0; 4.0 |];
+  Alcotest.(check (float 1e-9)) "a00" 3.0 (Matrix.get a 0 0);
+  Alcotest.(check (float 1e-9)) "a01" 4.0 (Matrix.get a 0 1);
+  Alcotest.(check (float 1e-9)) "a10" 6.0 (Matrix.get a 1 0);
+  Alcotest.(check (float 1e-9)) "a11" 8.0 (Matrix.get a 1 1)
+
+let test_axpy () =
+  let y = [| 1.0; 1.0 |] in
+  Matrix.axpy 2.0 [| 3.0; 4.0 |] y;
+  Alcotest.(check (array (float 1e-9))) "y += 2x" [| 7.0; 9.0 |] y
+
+let test_sigmoid_range () =
+  Alcotest.(check (float 1e-9)) "sigmoid 0" 0.5 (Matrix.sigmoid 0.0);
+  Alcotest.(check bool) "sigmoid large" true (Matrix.sigmoid 100.0 > 0.999);
+  Alcotest.(check bool) "sigmoid small" true (Matrix.sigmoid (-100.0) < 0.001)
+
+let test_derivative_identities () =
+  let y = Matrix.sigmoid 0.7 in
+  Alcotest.(check (float 1e-9)) "dsigmoid" (y *. (1.0 -. y)) (Matrix.dsigmoid_from_y y);
+  let t = tanh 0.3 in
+  Alcotest.(check (float 1e-9)) "dtanh" (1.0 -. (t *. t)) (Matrix.dtanh_from_y t)
+
+let test_clip () =
+  let x = [| -10.0; 0.5; 10.0 |] in
+  Matrix.clip_in 1.0 x;
+  Alcotest.(check (array (float 1e-9))) "clipped" [| -1.0; 0.5; 1.0 |] x
+
+let test_xavier_bounds () =
+  let rng = Rng.create 1 in
+  let m = Matrix.xavier rng 10 10 in
+  let bound = sqrt (6.0 /. 20.0) in
+  Array.iter
+    (fun v -> Alcotest.(check bool) "within glorot bound" true (Float.abs v <= bound))
+    m.Matrix.data
+
+(* --- lstm --- *)
+
+let test_lstm_forward_shape () =
+  let net = Lstm.create ~layers:2 ~hidden:8 ~input:1 () in
+  let seq = Array.init 5 (fun i -> [| float_of_int i |]) in
+  let y = Lstm.predict net seq in
+  Alcotest.(check bool) "finite output" true (Float.is_finite y);
+  Alcotest.(check int) "layers" 2 (Lstm.layers net);
+  Alcotest.(check int) "hidden" 8 (Lstm.hidden net)
+
+let test_lstm_deterministic () =
+  let mk () = Lstm.create ~seed:9 ~layers:1 ~hidden:4 ~input:1 () in
+  let seq = Array.init 4 (fun i -> [| float_of_int i /. 4.0 |]) in
+  Alcotest.(check (float 1e-12)) "same init same output" (Lstm.predict (mk ()) seq)
+    (Lstm.predict (mk ()) seq)
+
+let test_lstm_learns_constant () =
+  let net = Lstm.create ~seed:2 ~layers:1 ~hidden:8 ~input:1 () in
+  let seq = Array.init 5 (fun _ -> [| 0.3 |]) in
+  let samples = Array.make 8 (seq, 0.7) in
+  let final = Lstm.train net samples ~epochs:150 ~lr:0.02 in
+  Alcotest.(check bool)
+    (Printf.sprintf "converges to constant (mse %.4f)" final)
+    true (final < 0.01)
+
+let test_lstm_learns_sign_pattern () =
+  (* Rising sequences map to +1, falling to -1. *)
+  let rising = Array.init 6 (fun i -> [| float_of_int i /. 6.0 |]) in
+  let falling = Array.init 6 (fun i -> [| float_of_int (5 - i) /. 6.0 |]) in
+  let samples = [| (rising, 1.0); (falling, -1.0) |] in
+  let net = Lstm.create ~seed:4 ~layers:2 ~hidden:10 ~input:1 () in
+  let final = Lstm.train net samples ~epochs:300 ~lr:0.02 in
+  Alcotest.(check bool)
+    (Printf.sprintf "separates directions (mse %.4f)" final)
+    true (final < 0.05);
+  Alcotest.(check bool) "rising positive" true (Lstm.predict net rising > 0.5);
+  Alcotest.(check bool) "falling negative" true (Lstm.predict net falling < -0.5)
+
+let test_lstm_gradient_check () =
+  (* Numerical gradient check on the loss wrt one input element: the
+     analytic BPTT gradient reaching the input is not exposed, so check
+     instead that a training step reduces the loss on the same sample —
+     the practical invariant the planner relies on. *)
+  let net = Lstm.create ~seed:6 ~layers:2 ~hidden:6 ~input:1 () in
+  let seq = Array.init 6 (fun i -> [| sin (float_of_int i) |]) in
+  let target = 0.42 in
+  let before = (Lstm.predict net seq -. target) ** 2.0 in
+  ignore (Lstm.train_sample net ~seq ~target ~lr:0.05);
+  ignore (Lstm.train_sample net ~seq ~target ~lr:0.05);
+  let after = (Lstm.predict net seq -. target) ** 2.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "loss decreased (%.4f -> %.4f)" before after)
+    true (after < before)
+
+let test_lstm_numerical_gradient_check () =
+  (* Analytic BPTT gradients must match central finite differences of
+     the squared error, parameter by parameter. *)
+  let net = Lstm.create ~seed:11 ~layers:2 ~hidden:4 ~input:1 () in
+  let seq = Array.init 4 (fun i -> [| sin (float_of_int i +. 0.3) |]) in
+  let target = 0.25 in
+  let loss () =
+    let e = Lstm.predict net seq -. target in
+    e *. e
+  in
+  let analytic = Lstm.For_testing.gradients net ~seq ~target in
+  let params = Lstm.For_testing.param_arrays net in
+  let eps = 1e-5 in
+  let checked = ref 0 and failed = ref 0 in
+  List.iter2
+    (fun p g ->
+      (* Sample a few indices per parameter array. *)
+      let n = Array.length p in
+      List.iter
+        (fun idx ->
+          if idx < n then (
+            let orig = p.(idx) in
+            p.(idx) <- orig +. eps;
+            let up = loss () in
+            p.(idx) <- orig -. eps;
+            let down = loss () in
+            p.(idx) <- orig;
+            let numeric = (up -. down) /. (2.0 *. eps) in
+            let a = g.(idx) in
+            let denom = Stdlib.max 1e-4 (Float.abs a +. Float.abs numeric) in
+            incr checked;
+            if Float.abs (a -. numeric) /. denom > 0.02 then incr failed))
+        [ 0; n / 2; n - 1 ])
+    params analytic;
+  Alcotest.(check bool)
+    (Printf.sprintf "gradients agree (%d/%d mismatched)" !failed !checked)
+    true (!failed = 0);
+  Alcotest.(check bool) "checked many parameters" true (!checked >= 15)
+
+let test_lstm_mse_zero_on_memorized () =
+  let net = Lstm.create ~seed:8 ~layers:1 ~hidden:8 ~input:1 () in
+  let seq = Array.init 4 (fun _ -> [| 0.5 |]) in
+  let samples = [| (seq, 0.2) |] in
+  ignore (Lstm.train net samples ~epochs:200 ~lr:0.05);
+  Alcotest.(check bool) "near-zero mse" true (Lstm.mse net samples < 0.005)
+
+(* --- rnn baseline --- *)
+
+module Rnn = Lion_nn.Rnn
+
+let test_rnn_forward_finite () =
+  let net = Rnn.create ~hidden:8 ~input:1 () in
+  let seq = Array.init 6 (fun i -> [| float_of_int i /. 6.0 |]) in
+  Alcotest.(check bool) "finite" true (Float.is_finite (Rnn.predict net seq));
+  Alcotest.(check int) "hidden" 8 (Rnn.hidden net)
+
+let test_rnn_learns_constant () =
+  let net = Rnn.create ~seed:3 ~hidden:8 ~input:1 () in
+  let seq = Array.init 5 (fun _ -> [| 0.2 |]) in
+  let samples = Array.make 4 (seq, 0.6) in
+  let final = Rnn.train net samples ~epochs:200 ~lr:0.02 in
+  Alcotest.(check bool) (Printf.sprintf "converges (mse %.4f)" final) true (final < 0.01)
+
+let test_rnn_training_reduces_loss () =
+  let net = Rnn.create ~seed:5 ~hidden:6 ~input:1 () in
+  let seq = Array.init 6 (fun i -> [| cos (float_of_int i) |]) in
+  let before = (Rnn.predict net seq -. 0.3) ** 2.0 in
+  for _ = 1 to 20 do
+    ignore (Rnn.train_sample net ~seq ~target:0.3 ~lr:0.01)
+  done;
+  let after = (Rnn.predict net seq -. 0.3) ** 2.0 in
+  Alcotest.(check bool) "loss decreased" true (after < before)
+
+(* --- linear regression baseline --- *)
+
+module Linreg = Lion_nn.Linreg
+
+let test_linreg_fits_linear_series () =
+  (* Next value of an arithmetic series is a linear function of the
+     window: OLS must recover it almost exactly. *)
+  let series = Array.init 40 (fun i -> 3.0 +. (2.0 *. float_of_int i)) in
+  let samples = Dataset.windows series ~window:4 in
+  let model = Linreg.create ~window:4 in
+  Linreg.fit model samples;
+  Alcotest.(check bool) "near-zero mse" true (Linreg.mse model samples < 1e-3);
+  let last, expected = samples.(Array.length samples - 1) in
+  Alcotest.(check bool) "prediction close" true
+    (Float.abs (Linreg.predict model last -. expected) < 0.1)
+
+let test_linreg_constant_series () =
+  let series = Array.make 30 7.0 in
+  let samples = Dataset.windows series ~window:3 in
+  let model = Linreg.create ~window:3 in
+  Linreg.fit model samples;
+  Alcotest.(check bool) "predicts the constant" true
+    (Float.abs (Linreg.predict model (fst samples.(0)) -. 7.0) < 0.05)
+
+let test_linreg_empty_fit_safe () =
+  let model = Linreg.create ~window:3 in
+  Linreg.fit model [||];
+  (* Degenerate fit must not crash or return NaN. *)
+  Alcotest.(check bool) "finite" true
+    (Float.is_finite (Linreg.predict model [| [| 1.0 |]; [| 2.0 |]; [| 3.0 |] |]))
+
+(* --- dataset --- *)
+
+let test_norm_roundtrip () =
+  let series = [| 10.0; 20.0; 30.0 |] in
+  let norm = Dataset.fit_norm series in
+  Array.iter
+    (fun x ->
+      Alcotest.(check (float 1e-9)) "roundtrip" x
+        (Dataset.denormalize norm (Dataset.normalize norm x)))
+    series
+
+let test_norm_zero_variance () =
+  let norm = Dataset.fit_norm [| 5.0; 5.0; 5.0 |] in
+  (* Must not divide by zero. *)
+  Alcotest.(check bool) "finite" true (Float.is_finite (Dataset.normalize norm 5.0))
+
+let test_windows_shape () =
+  let series = Array.init 10 float_of_int in
+  let samples = Dataset.windows series ~window:3 in
+  Alcotest.(check int) "count" 7 (Array.length samples);
+  let seq, target = samples.(0) in
+  Alcotest.(check int) "window length" 3 (Array.length seq);
+  Alcotest.(check (float 1e-9)) "first target" 3.0 target;
+  let _, last_target = samples.(6) in
+  Alcotest.(check (float 1e-9)) "last target" 9.0 last_target
+
+let test_windows_too_short () =
+  Alcotest.(check int) "empty when short" 0
+    (Array.length (Dataset.windows [| 1.0; 2.0 |] ~window:5))
+
+let test_last_window_padding () =
+  let norm = { Dataset.mu = 0.0; sigma = 1.0 } in
+  let w = Dataset.last_window [| 7.0 |] ~window:3 norm in
+  Alcotest.(check int) "length" 3 (Array.length w);
+  Alcotest.(check (float 1e-9)) "padded" 0.0 w.(0).(0);
+  Alcotest.(check (float 1e-9)) "real value last" 7.0 w.(2).(0)
+
+let test_windows_normalized_consistent () =
+  let series = Array.init 20 (fun i -> float_of_int (i * 10)) in
+  let norm, samples = Dataset.windows_normalized series ~window:4 in
+  let seq, target = samples.(0) in
+  Alcotest.(check (float 1e-9)) "first input normalized" (Dataset.normalize norm 0.0)
+    seq.(0).(0);
+  Alcotest.(check (float 1e-9)) "target normalized" (Dataset.normalize norm 40.0) target
+
+let () =
+  Alcotest.run "lion_nn"
+    [
+      ( "matrix",
+        [
+          Alcotest.test_case "matvec" `Quick test_matvec;
+          Alcotest.test_case "matvec transpose" `Quick test_matvec_t;
+          Alcotest.test_case "outer accumulate" `Quick test_outer_acc;
+          Alcotest.test_case "axpy" `Quick test_axpy;
+          Alcotest.test_case "sigmoid" `Quick test_sigmoid_range;
+          Alcotest.test_case "derivative identities" `Quick test_derivative_identities;
+          Alcotest.test_case "clip" `Quick test_clip;
+          Alcotest.test_case "xavier bounds" `Quick test_xavier_bounds;
+        ] );
+      ( "lstm",
+        [
+          Alcotest.test_case "forward shape" `Quick test_lstm_forward_shape;
+          Alcotest.test_case "deterministic init" `Quick test_lstm_deterministic;
+          Alcotest.test_case "learns constant" `Slow test_lstm_learns_constant;
+          Alcotest.test_case "learns direction" `Slow test_lstm_learns_sign_pattern;
+          Alcotest.test_case "training reduces loss" `Quick test_lstm_gradient_check;
+          Alcotest.test_case "numerical gradient check" `Quick
+            test_lstm_numerical_gradient_check;
+          Alcotest.test_case "memorizes one sample" `Slow test_lstm_mse_zero_on_memorized;
+        ] );
+      ( "rnn",
+        [
+          Alcotest.test_case "forward finite" `Quick test_rnn_forward_finite;
+          Alcotest.test_case "learns constant" `Slow test_rnn_learns_constant;
+          Alcotest.test_case "training reduces loss" `Quick test_rnn_training_reduces_loss;
+        ] );
+      ( "linreg",
+        [
+          Alcotest.test_case "fits linear series" `Quick test_linreg_fits_linear_series;
+          Alcotest.test_case "constant series" `Quick test_linreg_constant_series;
+          Alcotest.test_case "empty fit safe" `Quick test_linreg_empty_fit_safe;
+        ] );
+      ( "dataset",
+        [
+          Alcotest.test_case "norm roundtrip" `Quick test_norm_roundtrip;
+          Alcotest.test_case "zero variance safe" `Quick test_norm_zero_variance;
+          Alcotest.test_case "windows shape" `Quick test_windows_shape;
+          Alcotest.test_case "short series" `Quick test_windows_too_short;
+          Alcotest.test_case "last window pads" `Quick test_last_window_padding;
+          Alcotest.test_case "normalized windows" `Quick test_windows_normalized_consistent;
+        ] );
+    ]

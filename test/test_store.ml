@@ -1,0 +1,597 @@
+(* Tests for lion_store: placement invariants, OCC sessions, cluster
+   replica operations (remaster / add / remove / cooldown). *)
+
+module Placement = Lion_store.Placement
+module Kvstore = Lion_store.Kvstore
+module Config = Lion_store.Config
+module Cluster = Lion_store.Cluster
+module Engine = Lion_sim.Engine
+
+(* --- placement --- *)
+
+let mk ?(nodes = 4) ?(partitions = 8) ?(replicas = 2) ?(max_replicas = 4) () =
+  Placement.create ~nodes ~partitions ~replicas ~max_replicas
+
+let test_round_robin_layout () =
+  let p = mk () in
+  for part = 0 to 7 do
+    Alcotest.(check int) "primary round robin" (part mod 4) (Placement.primary p part);
+    Alcotest.(check (list int))
+      "secondary follows"
+      [ (part + 1) mod 4 ]
+      (Placement.secondaries p part)
+  done
+
+let test_replica_counts () =
+  let p = mk ~replicas:3 () in
+  Alcotest.(check int) "three replicas" 3 (Placement.replica_count p 0)
+
+let test_remaster_swaps () =
+  let p = mk () in
+  (* Partition 0: primary node 0, secondary node 1. *)
+  Placement.remaster p ~part:0 ~node:1;
+  Alcotest.(check int) "new primary" 1 (Placement.primary p 0);
+  Alcotest.(check bool) "old primary demoted" true (Placement.has_secondary p ~part:0 ~node:0);
+  Alcotest.(check int) "replica count unchanged" 2 (Placement.replica_count p 0)
+
+let test_remaster_noop_on_primary () =
+  let p = mk () in
+  Placement.remaster p ~part:0 ~node:0;
+  Alcotest.(check int) "unchanged" 0 (Placement.primary p 0)
+
+let test_remaster_requires_replica () =
+  let p = mk () in
+  Alcotest.check_raises "no replica"
+    (Invalid_argument "Placement.remaster: node 3 holds no replica of partition 0")
+    (fun () -> Placement.remaster p ~part:0 ~node:3)
+
+let test_add_secondary () =
+  let p = mk () in
+  Placement.add_secondary p ~part:0 ~node:2;
+  Alcotest.(check bool) "added" true (Placement.has_secondary p ~part:0 ~node:2);
+  (* Idempotent on existing replica. *)
+  Placement.add_secondary p ~part:0 ~node:2;
+  Alcotest.(check int) "no duplicate" 3 (Placement.replica_count p 0)
+
+let test_add_secondary_respects_max () =
+  let p = mk ~max_replicas:2 () in
+  Alcotest.check_raises "at max"
+    (Invalid_argument "Placement.add_secondary: partition 0 already at max replicas")
+    (fun () -> Placement.add_secondary p ~part:0 ~node:2)
+
+let test_remove_secondary () =
+  let p = mk () in
+  Placement.remove_secondary p ~part:0 ~node:1;
+  Alcotest.(check int) "one replica left" 1 (Placement.replica_count p 0);
+  Alcotest.check_raises "cannot remove primary"
+    (Invalid_argument "Placement.remove_secondary: cannot remove the primary") (fun () ->
+      Placement.remove_secondary p ~part:0 ~node:0)
+
+let test_best_local_node () =
+  let p = mk () in
+  (* Partitions 0 and 1: primaries at 0,1; secondaries at 1,2.
+     Node 1 holds a replica of both. *)
+  Alcotest.(check (option int)) "common node" (Some 1) (Placement.best_local_node p [ 0; 1 ]);
+  (* Partitions 0 and 2 share node 0 (primary 0 / primary 2 is node 2,
+     secondary of 2 is node 3) — no common node except... 0 has replica
+     of 0 only. *)
+  Alcotest.(check (option int)) "no common node" None (Placement.best_local_node p [ 0; 2 ])
+
+let test_best_local_prefers_primaries () =
+  let p = mk ~nodes:2 ~partitions:2 () in
+  (* Both nodes hold replicas of both partitions (2 replicas, 2 nodes).
+     Node 0 is primary of partition 0; node 1 of partition 1 — equal
+     primary counts, tie goes to the lower id. *)
+  Alcotest.(check (option int)) "tie to lower id" (Some 0)
+    (Placement.best_local_node p [ 0; 1 ]);
+  Placement.remaster p ~part:1 ~node:0;
+  Alcotest.(check (option int)) "now node 0 dominates" (Some 0)
+    (Placement.best_local_node p [ 0; 1 ])
+
+let test_parts_primary_on () =
+  let p = mk () in
+  Alcotest.(check (list int)) "node 0's primaries" [ 0; 4 ] (Placement.parts_primary_on p 0)
+
+let test_count_helpers () =
+  let p = mk () in
+  Alcotest.(check int) "primaries at node 0" 1
+    (Placement.count_primaries_at p [ 0; 1; 2 ] ~node:0);
+  Alcotest.(check int) "replicas at node 1" 2
+    (Placement.count_replicas_at p [ 0; 1; 2 ] ~node:1)
+
+let test_copy_isolated () =
+  let p = mk () in
+  let q = Placement.copy p in
+  Placement.remaster q ~part:0 ~node:1;
+  Alcotest.(check int) "original untouched" 0 (Placement.primary p 0);
+  Alcotest.(check int) "copy changed" 1 (Placement.primary q 0)
+
+let placement_invariant p =
+  let ok = ref true in
+  for part = 0 to Placement.partitions p - 1 do
+    let prim = Placement.primary p part in
+    if Placement.has_secondary p ~part ~node:prim then ok := false;
+    if Placement.replica_count p part > Placement.max_replicas p then ok := false
+  done;
+  !ok
+
+let test_placement_invariant_random_ops =
+  QCheck.Test.make ~name:"random replica ops preserve invariants" ~count:100
+    QCheck.(list (pair (int_range 0 7) (int_range 0 3)))
+    (fun ops ->
+      let p = mk () in
+      List.iter
+        (fun (part, node) ->
+          (try Placement.add_secondary p ~part ~node with Invalid_argument _ -> ());
+          if Placement.has_replica p ~part ~node then Placement.remaster p ~part ~node)
+        ops;
+      placement_invariant p)
+
+(* --- kvstore / OCC --- *)
+
+let test_versions_start_at_zero () =
+  let s = Kvstore.create () in
+  Alcotest.(check int) "fresh key" 0 (Kvstore.version s (Kvstore.key ~part:0 ~slot:42))
+
+let test_commit_bumps_versions () =
+  let s = Kvstore.create () in
+  let k = Kvstore.key ~part:1 ~slot:2 in
+  let session = Kvstore.begin_session s in
+  Kvstore.write session k;
+  Kvstore.commit_session session;
+  Alcotest.(check int) "bumped" 1 (Kvstore.version s k)
+
+let test_validate_detects_conflict () =
+  let s = Kvstore.create () in
+  let k = Kvstore.key ~part:0 ~slot:0 in
+  let t1 = Kvstore.begin_session s in
+  Kvstore.read t1 k;
+  (* Concurrent writer commits first. *)
+  let t2 = Kvstore.begin_session s in
+  Kvstore.write t2 k;
+  Kvstore.commit_session t2;
+  Alcotest.(check bool) "t1 invalid" false (Kvstore.validate t1)
+
+let test_validate_passes_without_conflict () =
+  let s = Kvstore.create () in
+  let t1 = Kvstore.begin_session s in
+  Kvstore.read t1 (Kvstore.key ~part:0 ~slot:0);
+  let t2 = Kvstore.begin_session s in
+  Kvstore.write t2 (Kvstore.key ~part:0 ~slot:1);
+  Kvstore.commit_session t2;
+  Alcotest.(check bool) "disjoint keys fine" true (Kvstore.validate t1)
+
+let test_reserve_blocks_concurrent_writers () =
+  let s = Kvstore.create () in
+  let k = Kvstore.key ~part:0 ~slot:7 in
+  let t1 = Kvstore.begin_session s in
+  Kvstore.write t1 k;
+  let t2 = Kvstore.begin_session s in
+  Kvstore.write t2 k;
+  Alcotest.(check bool) "t1 reserves" true (Kvstore.try_reserve t1);
+  Alcotest.(check bool) "t2 blocked by pending" false (Kvstore.try_reserve t2);
+  Kvstore.finalize t1;
+  Alcotest.(check bool) "t2 still stale (version moved)" false (Kvstore.try_reserve t2)
+
+let test_release_reservation_unblocks () =
+  let s = Kvstore.create () in
+  let k = Kvstore.key ~part:0 ~slot:9 in
+  let t1 = Kvstore.begin_session s in
+  Kvstore.write t1 k;
+  Alcotest.(check bool) "reserved" true (Kvstore.try_reserve t1);
+  Kvstore.release_reservation t1;
+  let t2 = Kvstore.begin_session s in
+  Kvstore.write t2 k;
+  Alcotest.(check bool) "t2 proceeds after release" true (Kvstore.try_reserve t2)
+
+let test_reader_blocked_by_pending_write () =
+  let s = Kvstore.create () in
+  let k = Kvstore.key ~part:2 ~slot:3 in
+  let writer = Kvstore.begin_session s in
+  Kvstore.write writer k;
+  Alcotest.(check bool) "writer reserves" true (Kvstore.try_reserve writer);
+  let reader = Kvstore.begin_session s in
+  Kvstore.read reader k;
+  Alcotest.(check bool) "reader sees pending" false (Kvstore.try_reserve reader)
+
+let test_write_is_rmw () =
+  let s = Kvstore.create () in
+  let k = Kvstore.key ~part:0 ~slot:1 in
+  let t1 = Kvstore.begin_session s in
+  Kvstore.write t1 k;
+  (* Another transaction commits a write to the same key. *)
+  let t2 = Kvstore.begin_session s in
+  Kvstore.write t2 k;
+  Kvstore.commit_session t2;
+  (* t1's RMW semantics mean its write must now fail validation. *)
+  Alcotest.(check bool) "lost update prevented" false (Kvstore.try_reserve t1)
+
+let test_read_write_sets () =
+  let s = Kvstore.create () in
+  let t = Kvstore.begin_session s in
+  let k1 = Kvstore.key ~part:0 ~slot:1 and k2 = Kvstore.key ~part:0 ~slot:2 in
+  Kvstore.read t k1;
+  Kvstore.write t k2;
+  Alcotest.(check int) "reads include writes (RMW)" 2 (List.length (Kvstore.read_set t));
+  Alcotest.(check int) "one write" 1 (List.length (Kvstore.write_set t))
+
+let test_touched_keys_sparse () =
+  let s = Kvstore.create () in
+  let t = Kvstore.begin_session s in
+  Kvstore.write t (Kvstore.key ~part:999 ~slot:123_456_789);
+  Kvstore.commit_session t;
+  Alcotest.(check int) "only touched keys stored" 1 (Kvstore.touched_keys s)
+
+let test_occ_serializability_property =
+  (* For any interleaving of two-key transactions where each validates
+     through try_reserve before finalize, committed effects must equal
+     some serial order — approximated here by checking version counts
+     equal the number of successful commits per key. *)
+  QCheck.Test.make ~name:"reserve/finalize installs each commit exactly once" ~count:50
+    QCheck.(list (pair (int_range 0 3) bool))
+    (fun txns ->
+      let s = Kvstore.create () in
+      let commits = Hashtbl.create 8 in
+      List.iter
+        (fun (slot, do_commit) ->
+          let k = Kvstore.key ~part:0 ~slot in
+          let t = Kvstore.begin_session s in
+          Kvstore.write t k;
+          if Kvstore.try_reserve t then
+            if do_commit then (
+              Kvstore.finalize t;
+              Hashtbl.replace commits slot
+                (1 + Option.value ~default:0 (Hashtbl.find_opt commits slot)))
+            else Kvstore.release_reservation t)
+        txns;
+      Hashtbl.fold
+        (fun slot n acc -> acc && Kvstore.version s (Kvstore.key ~part:0 ~slot) = n)
+        commits true)
+
+(* --- cluster --- *)
+
+let mk_cluster ?(cfg = Config.default) () = Cluster.create ~seed:5 cfg
+
+let test_cluster_shape () =
+  let cl = mk_cluster () in
+  Alcotest.(check int) "nodes" 4 (Cluster.node_count cl);
+  Alcotest.(check int) "partitions" 48 (Cluster.partition_count cl)
+
+let test_remaster_blocks_partition () =
+  let cl = mk_cluster () in
+  let part = 0 in
+  let target = Placement.secondaries cl.Cluster.placement part |> List.hd in
+  Alcotest.(check bool) "starts" true (Cluster.try_begin_remaster cl ~part ~node:target);
+  Alcotest.(check bool) "partition blocked" true (Cluster.partition_wait cl part > 0.0);
+  Engine.run_all cl.Cluster.engine ();
+  Alcotest.(check int) "primary moved" target (Placement.primary cl.Cluster.placement part);
+  Alcotest.(check int) "counted" 1 cl.Cluster.remaster_count
+
+let test_remaster_conflict_refused () =
+  let cl = mk_cluster () in
+  let part = 0 in
+  let target = Placement.secondaries cl.Cluster.placement part |> List.hd in
+  Alcotest.(check bool) "first wins" true (Cluster.try_begin_remaster cl ~part ~node:target);
+  Alcotest.(check bool) "second loses (inflight)" false
+    (Cluster.try_begin_remaster cl ~part ~node:target)
+
+let test_remaster_cooldown () =
+  let cl = mk_cluster () in
+  let part = 0 in
+  let target = Placement.secondaries cl.Cluster.placement part |> List.hd in
+  ignore (Cluster.try_begin_remaster cl ~part ~node:target);
+  Engine.run_all cl.Cluster.engine ();
+  (* Immediately flipping back must be refused during the cooldown. *)
+  Alcotest.(check bool) "cooldown refuses flip-back" false
+    (Cluster.try_begin_remaster cl ~part ~node:0);
+  (* After the cooldown it is allowed again. *)
+  Engine.run_until cl.Cluster.engine
+    (Engine.now cl.Cluster.engine +. Config.default.Config.remaster_cooldown +. 1.0);
+  Alcotest.(check bool) "allowed after cooldown" true
+    (Cluster.try_begin_remaster cl ~part ~node:0)
+
+let test_remaster_without_replica_refused () =
+  let cl = mk_cluster () in
+  (* Node 3 holds no replica of partition 0 (primary 0, secondary 1). *)
+  Alcotest.(check bool) "refused" false (Cluster.try_begin_remaster cl ~part:0 ~node:3)
+
+let test_add_replica_background () =
+  let cl = mk_cluster () in
+  let ready = ref false in
+  Cluster.add_replica cl ~part:0 ~node:3 ~on_ready:(fun () -> ready := true);
+  Alcotest.(check bool) "not yet" false
+    (Placement.has_secondary cl.Cluster.placement ~part:0 ~node:3);
+  Engine.run_all cl.Cluster.engine ();
+  Alcotest.(check bool) "installed" true
+    (Placement.has_secondary cl.Cluster.placement ~part:0 ~node:3);
+  Alcotest.(check bool) "callback fired" true !ready
+
+let test_add_replica_idempotent () =
+  let cl = mk_cluster () in
+  let fired = ref 0 in
+  (* Node 1 already has a secondary of partition 0. *)
+  Cluster.add_replica cl ~part:0 ~node:1 ~on_ready:(fun () -> incr fired);
+  Alcotest.(check int) "immediate" 1 !fired;
+  Alcotest.(check int) "no migration" 0 cl.Cluster.migration_count
+
+let test_add_replica_evicts_at_max () =
+  let cfg = { Config.default with Config.max_replicas = 2 } in
+  let cl = mk_cluster ~cfg () in
+  (* Partition 0 already has 2 replicas (nodes 0, 1); adding on node 2
+     must evict the node-1 secondary. *)
+  Cluster.add_replica cl ~part:0 ~node:2 ~on_ready:(fun () -> ());
+  Engine.run_all cl.Cluster.engine ();
+  Alcotest.(check int) "still at max" 2 (Placement.replica_count cl.Cluster.placement 0);
+  Alcotest.(check bool) "new replica present" true
+    (Placement.has_secondary cl.Cluster.placement ~part:0 ~node:2)
+
+let test_access_frequency_tracking () =
+  let cl = mk_cluster () in
+  for _ = 1 to 10 do
+    Cluster.touch_partition cl 0
+  done;
+  Cluster.touch_partition cl 1;
+  Alcotest.(check (float 1e-9)) "hottest is 1.0" 1.0 (Cluster.normalized_freq cl 0);
+  Alcotest.(check (float 1e-9)) "colder fraction" 0.1 (Cluster.normalized_freq cl 1);
+  Cluster.decay_access cl 0.5;
+  Alcotest.(check (float 1e-9)) "decay preserves ratio" 0.1 (Cluster.normalized_freq cl 1)
+
+let test_rpc_consumes_remote_service () =
+  let cl = mk_cluster () in
+  let finished = ref (-1.0) in
+  Cluster.rpc cl ~src:0 ~dst:1 ~bytes:128 ~work:10.0 (fun () ->
+      finished := Engine.now cl.Cluster.engine);
+  Engine.run_all cl.Cluster.engine ();
+  (* 2 one-way trips + 10 µs service, with the default 60 µs latency. *)
+  Alcotest.(check bool) "took at least 2 RT + work" true (!finished >= 130.0);
+  Alcotest.(check bool) "remote service busy time" true
+    (Float.abs (Lion_sim.Server.busy_time cl.Cluster.services.(1) -. 10.0) < 1e-6)
+
+let test_replicate_commit_charges_bytes () =
+  let cl = mk_cluster () in
+  Cluster.replicate_commit cl ~parts:[ 0; 1 ];
+  Alcotest.(check bool) "bytes charged" true
+    (Lion_sim.Network.total_bytes cl.Cluster.network > 0)
+
+(* --- placement stats --- *)
+
+module Placement_stats = Lion_store.Placement_stats
+
+let test_stats_pp_renders () =
+  let p = mk ~partitions:3 () in
+  let s = Format.asprintf "%a" Placement_stats.pp p in
+  Alcotest.(check bool) "lists primaries" true
+    (let contains hay needle =
+       let n = String.length needle in
+       let rec go i = i + n <= String.length hay && (String.sub hay i n = needle || go (i + 1)) in
+       go 0
+     in
+     contains s "N0: P0*" && contains s "N1:")
+
+let test_stats_counts () =
+  let p = mk () in
+  Alcotest.(check (array int)) "primaries per node" [| 2; 2; 2; 2 |]
+    (Placement_stats.primaries_per_node p);
+  Alcotest.(check (array int)) "replicas per node" [| 4; 4; 4; 4 |]
+    (Placement_stats.replicas_per_node p);
+  Alcotest.(check (float 1e-9)) "balanced layout" 1.0 (Placement_stats.imbalance p)
+
+let test_stats_imbalance_after_remaster () =
+  let p = mk () in
+  Placement.remaster p ~part:1 ~node:2;
+  (* Node 2 now has 3 primaries over a mean of 2. *)
+  Alcotest.(check (float 1e-9)) "max/mean" 1.5 (Placement_stats.imbalance p)
+
+let test_stats_coverage_and_colocation () =
+  let p = mk () in
+  (* Pair (0,1): node 1 holds a replica of both (covered), but the
+     primaries live on nodes 0 and 1 (not colocated). *)
+  Alcotest.(check (float 1e-9)) "covered" 1.0 (Placement_stats.coverage p [ [ 0; 1 ] ]);
+  Alcotest.(check (float 1e-9)) "not colocated" 0.0
+    (Placement_stats.colocated p [ [ 0; 1 ] ]);
+  Placement.remaster p ~part:0 ~node:1;
+  Alcotest.(check (float 1e-9)) "colocated after remaster" 1.0
+    (Placement_stats.colocated p [ [ 0; 1 ] ]);
+  (* Pair (0,2) has no common node in the default layout. *)
+  Alcotest.(check (float 1e-9)) "half covered" 0.5
+    (Placement_stats.coverage p [ [ 0; 1 ]; [ 0; 2 ] ])
+
+(* --- replication log --- *)
+
+module Replication = Lion_store.Replication
+
+let test_replication_appends_counted () =
+  let e = Engine.create () in
+  let r = Replication.create ~interval:10_000.0 ~partitions:4 e in
+  Replication.append r ~part:0;
+  Replication.append r ~part:0;
+  Replication.append r ~part:1;
+  Alcotest.(check int) "per-partition" 2 (Replication.appends r ~part:0);
+  Alcotest.(check int) "other partition" 1 (Replication.appends r ~part:1);
+  Alcotest.(check int) "grand total" 3 (Replication.total_appends r)
+
+let test_replication_lag_window () =
+  let e = Engine.create () in
+  let r = Replication.create ~interval:10_000.0 ~partitions:2 e in
+  Replication.append r ~part:0;
+  (* Within the sync window: still lagging. *)
+  Alcotest.(check int) "fresh record lags" 1 (Replication.lag r ~part:0);
+  (* Move past the sync delay: secondaries have acknowledged. *)
+  Engine.run_until e (Replication.sync_delay r +. 20_000.0);
+  Alcotest.(check int) "acked after delay" 0 (Replication.lag r ~part:0);
+  Alcotest.(check int) "history retained" 1 (Replication.appends r ~part:0)
+
+let test_commit_feeds_replication_log () =
+  let cl = mk_cluster () in
+  Cluster.replicate_commit cl ~parts:[ 3; 7 ];
+  Alcotest.(check int) "log grew" 1 (Replication.appends cl.Cluster.replication ~part:3);
+  Alcotest.(check int) "both partitions" 1 (Replication.appends cl.Cluster.replication ~part:7)
+
+let test_remaster_bytes_scale_with_lag () =
+  let cl = mk_cluster () in
+  let bytes_before = Lion_sim.Network.total_bytes cl.Cluster.network in
+  (* Build up lag on partition 0, then remaster it. *)
+  for _ = 1 to 100 do
+    Cluster.replicate_commit cl ~parts:[ 0 ]
+  done;
+  let after_replication = Lion_sim.Network.total_bytes cl.Cluster.network in
+  let target = Placement.secondaries cl.Cluster.placement 0 |> List.hd in
+  ignore (Cluster.try_begin_remaster cl ~part:0 ~node:target);
+  let after_remaster = Lion_sim.Network.total_bytes cl.Cluster.network in
+  let log_bytes = after_remaster - after_replication in
+  Alcotest.(check bool) "replication charged" true (after_replication > bytes_before);
+  (* 100 lagging records x 64 bytes. *)
+  Alcotest.(check int) "lag shipped" (100 * 64) log_bytes
+
+(* --- failure / recovery --- *)
+
+let test_fail_node_drops_secondaries () =
+  let cl = mk_cluster () in
+  (* Node 1 holds the secondary of partition 0. *)
+  Cluster.fail_node cl 1;
+  Alcotest.(check bool) "dead" false (Cluster.alive cl 1);
+  Alcotest.(check (list int)) "secondary dropped" [] (Placement.secondaries cl.Cluster.placement 0);
+  Alcotest.(check (list int)) "three survivors" [ 0; 2; 3 ] (Cluster.alive_nodes cl)
+
+let test_fail_node_promotes_survivor () =
+  let cl = mk_cluster () in
+  (* Partition 1: primary node 1, secondary node 2. *)
+  Cluster.fail_node cl 1;
+  Alcotest.(check bool) "blocked during election" true (Cluster.partition_wait cl 1 > 0.0);
+  Engine.run_until cl.Cluster.engine (Engine.seconds 1.0);
+  Alcotest.(check int) "survivor promoted" 2 (Placement.primary cl.Cluster.placement 1);
+  Alcotest.(check (float 1e-9)) "available again" 0.0 (Cluster.partition_wait cl 1)
+
+let test_fail_node_idempotent () =
+  let cl = mk_cluster () in
+  Cluster.fail_node cl 1;
+  Cluster.fail_node cl 1;
+  Engine.run_until cl.Cluster.engine (Engine.seconds 1.0);
+  Alcotest.(check bool) "still consistent" true
+    (Placement.primary cl.Cluster.placement 1 <> 1)
+
+let test_orphaned_partition_blocks_until_recovery () =
+  let cfg = { Config.default with Config.replicas = 1 } in
+  let cl = Cluster.create ~seed:5 cfg in
+  (* Single replica: partition 1's only copy is on node 1. *)
+  Cluster.fail_node cl 1;
+  Alcotest.(check bool) "unavailable" true (Cluster.partition_wait cl 1 = infinity);
+  Cluster.recover_node cl 1;
+  Engine.run_until cl.Cluster.engine (Engine.seconds 1.0);
+  Alcotest.(check bool) "available after recovery" true
+    (Cluster.partition_wait cl 1 < infinity);
+  Alcotest.(check int) "primary unchanged" 1 (Placement.primary cl.Cluster.placement 1)
+
+let test_lion_survives_failover () =
+  let cl = mk_cluster () in
+  let proto = Lion_core.Standard.create ~seed:2 cl in
+  let engine = cl.Cluster.engine in
+  let gen =
+    Lion_workload.Ycsb.create
+      {
+        (Lion_workload.Ycsb.default_params
+           ~partitions:(Cluster.partition_count cl)
+           ~nodes:(Cluster.node_count cl))
+        with
+        Lion_workload.Ycsb.cross_ratio = 0.5;
+      }
+  in
+  let rec loop () =
+    proto.Lion_protocols.Proto.submit (Lion_workload.Ycsb.next gen) ~on_done:(fun () ->
+        Engine.schedule engine ~delay:0.0 loop)
+  in
+  for _ = 1 to 32 do
+    loop ()
+  done;
+  Engine.at engine ~time:(Engine.seconds 0.5) (fun () -> Cluster.fail_node cl 2);
+  Engine.run_until engine (Engine.seconds 2.0);
+  let commits_at_1s = Lion_sim.Metrics.commits cl.Cluster.metrics in
+  Engine.run_until engine (Engine.seconds 3.0);
+  let commits_at_2s = Lion_sim.Metrics.commits cl.Cluster.metrics in
+  Alcotest.(check bool) "commits continue after failure" true
+    (commits_at_2s > commits_at_1s);
+  (* Nothing is mastered on the dead node. *)
+  Alcotest.(check (list int)) "no primaries on dead node" []
+    (Placement.parts_primary_on cl.Cluster.placement 2)
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "lion_store"
+    [
+      ( "placement",
+        [
+          Alcotest.test_case "round robin layout" `Quick test_round_robin_layout;
+          Alcotest.test_case "replica counts" `Quick test_replica_counts;
+          Alcotest.test_case "remaster swaps" `Quick test_remaster_swaps;
+          Alcotest.test_case "remaster noop on primary" `Quick test_remaster_noop_on_primary;
+          Alcotest.test_case "remaster requires replica" `Quick test_remaster_requires_replica;
+          Alcotest.test_case "add secondary" `Quick test_add_secondary;
+          Alcotest.test_case "max replicas enforced" `Quick test_add_secondary_respects_max;
+          Alcotest.test_case "remove secondary" `Quick test_remove_secondary;
+          Alcotest.test_case "best local node" `Quick test_best_local_node;
+          Alcotest.test_case "best local prefers primaries" `Quick
+            test_best_local_prefers_primaries;
+          Alcotest.test_case "parts primary on" `Quick test_parts_primary_on;
+          Alcotest.test_case "count helpers" `Quick test_count_helpers;
+          Alcotest.test_case "copy isolated" `Quick test_copy_isolated;
+        ] );
+      qsuite "placement-props" [ test_placement_invariant_random_ops ];
+      ( "occ",
+        [
+          Alcotest.test_case "fresh versions" `Quick test_versions_start_at_zero;
+          Alcotest.test_case "commit bumps" `Quick test_commit_bumps_versions;
+          Alcotest.test_case "conflict detected" `Quick test_validate_detects_conflict;
+          Alcotest.test_case "no false conflicts" `Quick test_validate_passes_without_conflict;
+          Alcotest.test_case "reserve excludes writers" `Quick
+            test_reserve_blocks_concurrent_writers;
+          Alcotest.test_case "release unblocks" `Quick test_release_reservation_unblocks;
+          Alcotest.test_case "reader blocked by pending" `Quick
+            test_reader_blocked_by_pending_write;
+          Alcotest.test_case "write is RMW" `Quick test_write_is_rmw;
+          Alcotest.test_case "read/write sets" `Quick test_read_write_sets;
+          Alcotest.test_case "sparse storage" `Quick test_touched_keys_sparse;
+        ] );
+      qsuite "occ-props" [ test_occ_serializability_property ];
+      ( "cluster",
+        [
+          Alcotest.test_case "shape" `Quick test_cluster_shape;
+          Alcotest.test_case "remaster blocks partition" `Quick test_remaster_blocks_partition;
+          Alcotest.test_case "remaster conflict refused" `Quick test_remaster_conflict_refused;
+          Alcotest.test_case "remaster cooldown" `Quick test_remaster_cooldown;
+          Alcotest.test_case "remaster needs replica" `Quick
+            test_remaster_without_replica_refused;
+          Alcotest.test_case "add replica background" `Quick test_add_replica_background;
+          Alcotest.test_case "add replica idempotent" `Quick test_add_replica_idempotent;
+          Alcotest.test_case "eviction at max replicas" `Quick test_add_replica_evicts_at_max;
+          Alcotest.test_case "access frequency" `Quick test_access_frequency_tracking;
+          Alcotest.test_case "rpc via remote service pool" `Quick
+            test_rpc_consumes_remote_service;
+          Alcotest.test_case "replication bytes" `Quick test_replicate_commit_charges_bytes;
+        ] );
+      ( "placement-stats",
+        [
+          Alcotest.test_case "counts" `Quick test_stats_counts;
+          Alcotest.test_case "imbalance" `Quick test_stats_imbalance_after_remaster;
+          Alcotest.test_case "coverage/colocation" `Quick test_stats_coverage_and_colocation;
+          Alcotest.test_case "pp renders" `Quick test_stats_pp_renders;
+        ] );
+      ( "replication",
+        [
+          Alcotest.test_case "appends counted" `Quick test_replication_appends_counted;
+          Alcotest.test_case "lag window" `Quick test_replication_lag_window;
+          Alcotest.test_case "commit feeds log" `Quick test_commit_feeds_replication_log;
+          Alcotest.test_case "remaster ships lag" `Quick test_remaster_bytes_scale_with_lag;
+        ] );
+      ( "failover",
+        [
+          Alcotest.test_case "failure drops secondaries" `Quick
+            test_fail_node_drops_secondaries;
+          Alcotest.test_case "failover promotes survivor" `Quick
+            test_fail_node_promotes_survivor;
+          Alcotest.test_case "failure idempotent" `Quick test_fail_node_idempotent;
+          Alcotest.test_case "orphan blocks until recovery" `Quick
+            test_orphaned_partition_blocks_until_recovery;
+          Alcotest.test_case "Lion survives failover" `Quick test_lion_survives_failover;
+        ] );
+    ]
