@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench examples clean
+.PHONY: all build test bench chaos examples clean
 
 all: build
 
@@ -12,6 +12,12 @@ test:
 
 bench:
 	dune exec bench/main.exe
+
+# Fault-injection experiments at quick scale (see docs/FAULTS.md).
+chaos:
+	dune exec bin/run_experiment.exe -- fault_crash_sweep 0.5
+	dune exec bin/run_experiment.exe -- fault_partition 0.5
+	dune exec bin/run_experiment.exe -- fault_straggler 0.25
 
 examples:
 	dune exec examples/quickstart.exe

@@ -1,0 +1,58 @@
+(* Developer tool: run Lion standard under a crash fault plan and print
+   the per-second throughput and availability, plus the fault counters
+   — the fastest way to watch failover, timeout/retry behaviour and
+   recovery.
+
+   Usage: dune exec bin/debug_chaos.exe -- [crashed] [fail_s] [recover_s] [total_s]
+   where [crashed] is how many nodes (1, 2, ...) crash at [fail_s]
+   (nodes 1..crashed) and rejoin at [recover_s]. *)
+
+module Config = Lion_store.Config
+module Engine = Lion_sim.Engine
+module Fault = Lion_sim.Fault
+module Runner = Lion_harness.Runner
+module Workloads = Lion_harness.Workloads
+
+let () =
+  let crashed = try int_of_string Sys.argv.(1) with _ -> 1 in
+  (* Node 0 stays up so the cluster always has a survivor. *)
+  let crashed = min crashed (Config.default.Config.nodes - 1) in
+  let fail_s = try float_of_string Sys.argv.(2) with _ -> 6.0 in
+  let recover_s = try float_of_string Sys.argv.(3) with _ -> 16.0 in
+  let total = try float_of_string Sys.argv.(4) with _ -> 20.0 in
+  let plan =
+    List.concat_map
+      (fun node ->
+        Fault.crash_recover ~node
+          ~at:(Engine.seconds fail_s)
+          ~downtime:(Engine.seconds (recover_s -. fail_s)))
+      (List.init crashed (fun i -> i + 1))
+  in
+  let cfg = { Config.default with Config.fault_plan = plan } in
+  let r =
+    Runner.run ~cfg
+      ~make:(fun cl ->
+        Lion_core.Standard.create ~name:"Lion"
+          ~config:
+            { Lion_core.Planner.default_config with Lion_core.Planner.predict = false }
+          cl)
+      ~gen:(Workloads.ycsb ~cross:0.5 cfg)
+      { Runner.quick with warmup = 0.0; duration = total; tick_every = 1.0 }
+  in
+  Printf.printf "second  k txn/s  availability\n";
+  Array.iteri
+    (fun i tput ->
+      if i < int_of_float total then
+        let a =
+          if i < Array.length r.Runner.availability then r.Runner.availability.(i)
+          else nan
+        in
+        Printf.printf "%6d  %7.1f  %.4f\n" (i + 1) (tput /. 1000.0) a)
+    r.Runner.throughput_series;
+  Printf.printf
+    "timeouts %d  retries %d  drops %d  unavail %.1fs  recovery %s  goodput %.1fk\n"
+    r.Runner.timeouts r.Runner.retries r.Runner.drops r.Runner.unavail_seconds
+    (if Float.is_finite r.Runner.time_to_recover then
+       Printf.sprintf "%.0fs" r.Runner.time_to_recover
+     else "not yet")
+    (r.Runner.goodput_under_fault /. 1000.0)

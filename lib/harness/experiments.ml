@@ -773,6 +773,166 @@ let abl_failover ?(scale = 1.0) () =
   Table.print t
 
 (* ------------------------------------------------------------------ *)
+(* Chaos experiments: the fault-injection engine (lib/sim/fault.ml)
+   drives crashes, partitions and stragglers through [Config.fault_plan]
+   — the same failover machinery as abl_failover, plus RPC timeouts,
+   retries and availability accounting. See docs/FAULTS.md.             *)
+(* ------------------------------------------------------------------ *)
+
+module Fault = Lion_sim.Fault
+module Engine = Lion_sim.Engine
+
+let lion_std_make cl =
+  Lion_core.Standard.create ~name:"Lion"
+    ~config:(lion_std_config ~predict:false ~use_lstm:false)
+    cl
+
+let fmt_ttr v =
+  if v = infinity then "not yet" else Table.cell_float ~decimals:0 v
+
+let fault_crash_sweep ?(scale = 1.0) () =
+  (* 0, 1 or 2 simultaneous crashes at 6 s, recovery at 16 s. With the
+     default round-robin placement and 2 replicas, losing nodes 1 and 2
+     together orphans the partitions whose both copies lived there:
+     they stay unavailable (clients time out and retry) until recovery
+     resynchronises the stale primary. *)
+  let crash_at = 6.0 *. scale and downtime = 10.0 *. scale in
+  let total = 20.0 *. scale in
+  let t =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Chaos: k nodes crash at %.0fs, recover at %.0fs (Lion standard, 50%% \
+            cross YCSB)"
+           crash_at (crash_at +. downtime))
+      ~columns:
+        [
+          "crashed";
+          "k txn/s";
+          "aborts";
+          "timeouts";
+          "retries";
+          "drops";
+          "unavail (s)";
+          "recovery (s)";
+          "goodput under fault";
+        ]
+  in
+  List.iter
+    (fun k ->
+      let plan =
+        List.concat_map
+          (fun node ->
+            Fault.crash_recover ~node
+              ~at:(Engine.seconds crash_at)
+              ~downtime:(Engine.seconds downtime))
+          (List.init k (fun i -> i + 1))
+      in
+      let cfg = { Config.default with Config.fault_plan = plan } in
+      let r =
+        Runner.run ~cfg ~make:lion_std_make
+          ~gen:(Workloads.ycsb ~cross:0.5 cfg)
+          { Runner.quick with warmup = 0.0; duration = total; tick_every = 1.0 }
+      in
+      Table.add_row t
+        [
+          string_of_int k;
+          fmt_k r.Runner.throughput;
+          Table.cell_int r.Runner.aborts;
+          Table.cell_int r.Runner.timeouts;
+          Table.cell_int r.Runner.retries;
+          Table.cell_int r.Runner.drops;
+          Table.cell_float ~decimals:1 r.Runner.unavail_seconds;
+          fmt_ttr r.Runner.time_to_recover;
+          fmt_k r.Runner.goodput_under_fault;
+        ])
+    [ 0; 1; 2 ];
+  Table.print t
+
+let fault_partition ?(scale = 1.0) () =
+  (* Split-brain: {0,1} | {2,3} for 5 s. No node dies, so availability
+     stays nominal — the damage shows up as cross-group RPC timeouts
+     (2PC keeps paying them; Lion's remastering pulls work local). *)
+  let at = 5.0 *. scale and duration = 5.0 *. scale in
+  let total = 15.0 *. scale in
+  let plan =
+    Fault.split_brain
+      ~groups:[ [ 0; 1 ]; [ 2; 3 ] ]
+      ~at:(Engine.seconds at)
+      ~duration:(Engine.seconds duration)
+  in
+  let cfg = { Config.default with Config.fault_plan = plan } in
+  let t =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Chaos: network partition {0,1}|{2,3} from %.0fs to %.0fs (50%% cross \
+            YCSB)"
+           at (at +. duration))
+      ~columns:
+        [ "protocol"; "k txn/s"; "aborts"; "timeouts"; "retries"; "drops" ]
+  in
+  List.iter
+    (fun (name, make) ->
+      let r =
+        Runner.run ~cfg ~make
+          ~gen:(Workloads.ycsb ~cross:0.5 cfg)
+          { Runner.quick with warmup = 0.0; duration = total; tick_every = 1.0 }
+      in
+      Table.add_row t
+        [
+          name;
+          fmt_k r.Runner.throughput;
+          Table.cell_int r.Runner.aborts;
+          Table.cell_int r.Runner.timeouts;
+          Table.cell_int r.Runner.retries;
+          Table.cell_int r.Runner.drops;
+        ])
+    [
+      ("2PC", fun cl -> Lion_protocols.Twopc.create cl);
+      ("Lion", lion_std_make);
+    ];
+  Table.print t
+
+let fault_straggler ?(scale = 1.0) () =
+  (* One slow node: all CPU work on node 2 stretched by the factor from
+     5 s to 15 s. No messages are lost, so this isolates the latency
+     and throughput cost of a straggler from the failover machinery. *)
+  let from_ = 5.0 *. scale and until = 15.0 *. scale in
+  let total = 20.0 *. scale in
+  let t =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Chaos: node 2 CPU slowed from %.0fs to %.0fs (Lion standard, 50%% \
+            cross YCSB)"
+           from_ until)
+      ~columns:[ "slowdown"; "k txn/s"; "mean latency (ms)"; "p95 (ms)" ]
+  in
+  List.iter
+    (fun factor ->
+      let plan =
+        Fault.slow_node ~node:2 ~factor
+          ~from_:(Engine.seconds from_)
+          ~until:(Engine.seconds until)
+      in
+      let cfg = { Config.default with Config.fault_plan = plan } in
+      let r =
+        Runner.run ~cfg ~make:lion_std_make
+          ~gen:(Workloads.ycsb ~cross:0.5 cfg)
+          { Runner.quick with warmup = 0.0; duration = total; tick_every = 1.0 }
+      in
+      Table.add_row t
+        [
+          Printf.sprintf "%.0fx" factor;
+          fmt_k r.Runner.throughput;
+          Table.cell_float ~decimals:1 (r.Runner.mean_latency /. 1000.0);
+          Table.cell_float ~decimals:1 (r.Runner.p95 /. 1000.0);
+        ])
+    [ 1.0; 4.0; 16.0 ];
+  Table.print t
+
+(* ------------------------------------------------------------------ *)
 
 let registry =
   [
@@ -811,6 +971,15 @@ let registry =
     ( "abl_read_secondary",
       "Ablation: bounded-staleness reads at secondaries",
       fun s -> abl_read_secondary ~scale:s () );
+    ( "fault_crash_sweep",
+      "Chaos: 0/1/2 node crashes with recovery",
+      fun s -> fault_crash_sweep ~scale:s () );
+    ( "fault_partition",
+      "Chaos: split-brain network partition",
+      fun s -> fault_partition ~scale:s () );
+    ( "fault_straggler",
+      "Chaos: slow-node CPU straggler",
+      fun s -> fault_straggler ~scale:s () );
   ]
 
 let run_all ?(scale = 1.0) () =

@@ -31,7 +31,48 @@ type result = {
   phase_fractions : (Metrics.phase * float) list;
   remasters : int;
   replica_adds : int;
+  timeouts : int;
+  retries : int;
+  drops : int;
+  availability : float array;
+  unavail_seconds : float;
+  time_to_recover : float;
+  goodput_under_fault : float;
 }
+
+let degraded a = a < 0.9995
+
+(* Fault summary over the per-second availability samples: lost
+   capacity integrated over the run, the span from first to last
+   degraded second (recovery time), and the throughput sustained while
+   degraded. *)
+let fault_summary ~availability ~throughput_series =
+  let n = Array.length availability in
+  let first = ref (-1) and last = ref (-1) in
+  let unavail = ref 0.0 in
+  for i = 0 to n - 1 do
+    unavail := !unavail +. (1.0 -. Stdlib.min 1.0 availability.(i));
+    if degraded availability.(i) then (
+      if !first < 0 then first := i;
+      last := i)
+  done;
+  let time_to_recover =
+    if !first < 0 then 0.0
+    else if !last = n - 1 then infinity (* still degraded when the run ended *)
+    else float_of_int (!last - !first + 1)
+  in
+  let goodput =
+    if !first < 0 then 0.0
+    else (
+      let sum = ref 0.0 and count = ref 0 in
+      for i = !first to Stdlib.min !last (Array.length throughput_series - 1) do
+        if degraded availability.(i) then (
+          sum := !sum +. throughput_series.(i);
+          incr count)
+      done;
+      if !count = 0 then 0.0 else !sum /. float_of_int !count)
+  in
+  (!unavail, time_to_recover, goodput)
 
 let run ?(seed = 1) ?(batch = false) ?(setup = fun _ -> ()) ~cfg ~make ~gen rc =
   let cl = Cluster.create ~seed cfg in
@@ -60,6 +101,14 @@ let run ?(seed = 1) ?(batch = false) ?(setup = fun _ -> ()) ~cfg ~make ~gen rc =
         ticker ())
   in
   ticker ();
+  (* Availability sampler: one mid-bucket probe per simulated second,
+     so each bucket of the series holds exactly one sample. *)
+  let avail_tick = Engine.seconds 1.0 in
+  let rec avail_loop () =
+    Metrics.note_availability cl.Cluster.metrics ~frac:(Cluster.availability cl);
+    Engine.schedule engine ~delay:avail_tick avail_loop
+  in
+  Engine.schedule engine ~delay:(avail_tick /. 2.0) avail_loop;
   (* Warm up, reset the summary window, then measure. *)
   Engine.run_until engine (Engine.seconds rc.warmup);
   Metrics.reset_window cl.Cluster.metrics;
@@ -69,6 +118,11 @@ let run ?(seed = 1) ?(batch = false) ?(setup = fun _ -> ()) ~cfg ~make ~gen rc =
   let metrics = cl.Cluster.metrics in
   let commits = Metrics.commits metrics in
   let bytes_delta = Network.total_bytes cl.Cluster.network - bytes_before in
+  let availability = Metrics.availability_series metrics in
+  let throughput_series = Metrics.throughput_series metrics in
+  let unavail_seconds, time_to_recover, goodput_under_fault =
+    fault_summary ~availability ~throughput_series
+  in
   {
     throughput = float_of_int commits /. rc.duration;
     commits;
@@ -84,7 +138,7 @@ let run ?(seed = 1) ?(batch = false) ?(setup = fun _ -> ()) ~cfg ~make ~gen rc =
     remaster_ratio =
       (if commits = 0 then 0.0
        else float_of_int (Metrics.remastered_commits metrics) /. float_of_int commits);
-    throughput_series = Metrics.throughput_series metrics;
+    throughput_series;
     bytes_series = Lion_kernel.Timeseries.to_array (Network.bytes_series cl.Cluster.network);
     bytes_per_txn =
       (if commits = 0 then 0.0 else float_of_int bytes_delta /. float_of_int commits);
@@ -92,4 +146,11 @@ let run ?(seed = 1) ?(batch = false) ?(setup = fun _ -> ()) ~cfg ~make ~gen rc =
       List.map (fun p -> (p, Metrics.phase_fraction metrics p)) Metrics.all_phases;
     remasters = cl.Cluster.remaster_count;
     replica_adds = cl.Cluster.replica_add_count;
+    timeouts = Metrics.timeouts metrics;
+    retries = Metrics.retries metrics;
+    drops = Metrics.drops metrics;
+    availability;
+    unavail_seconds;
+    time_to_recover;
+    goodput_under_fault;
   }

@@ -33,6 +33,22 @@ type result = {
   phase_fractions : (Lion_sim.Metrics.phase * float) list;
   remasters : int;  (** cluster-wide remaster operations *)
   replica_adds : int;
+  timeouts : int;  (** RPCs that exhausted their retries (measured window) *)
+  retries : int;  (** RPC retransmissions after a loss (measured window) *)
+  drops : int;  (** messages killed by the fault layer (measured window) *)
+  availability : float array;
+      (** per-second availability samples (incl. warmup); see
+          [Cluster.availability] *)
+  unavail_seconds : float;
+      (** integral of (1 − availability) over the run — lost
+          capacity-seconds *)
+  time_to_recover : float;
+      (** seconds from the first to the last degraded availability
+          sample; 0 when never degraded, [infinity] when the run ends
+          still degraded *)
+  goodput_under_fault : float;
+      (** mean commits/s over the degraded seconds (0 when never
+          degraded) *)
 }
 
 val run :

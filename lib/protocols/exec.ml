@@ -88,12 +88,29 @@ let attempt cl ~coordinator ~txn ~flavor ~k =
   let cfg = cl.Cluster.cfg in
   let engine = cl.Cluster.engine in
   let placement = cl.Cluster.placement in
+  if not (Cluster.alive cl coordinator) then
+    (* The router's liveness view lagged the crash: abort immediately;
+       the retry loop re-routes to a live coordinator. *)
+    k { committed = false; single_node = false; remastered = false; phases = [] }
+  else
   Cluster.acquire_worker cl ~node:coordinator (fun lease ->
       let session = Kvstore.begin_session cl.Cluster.store in
       let exec_start = Engine.now engine in
       let remaster_time = ref 0.0 in
       let used_remaster = ref false in
       let remote_parts = ref [] in
+      (* Abort path for unreachable participants / unavailable
+         partitions: give the worker back and let the caller retry. *)
+      let fail_txn () =
+        Cluster.release_worker cl ~node:coordinator lease;
+        k
+          {
+            committed = false;
+            single_node = false;
+            remastered = !used_remaster;
+            phases = [];
+          }
+      in
       let rec step groups k_done =
         match groups with
         | [] -> k_done ()
@@ -104,7 +121,9 @@ let attempt cl ~coordinator ~txn ~flavor ~k =
             let after_exec () = step rest k_done in
             let execute_locally () =
               record_ops session ops;
-              Engine.schedule engine ~delay:local_work after_exec
+              Engine.schedule engine
+                ~delay:(local_work *. Cluster.work_scale cl coordinator)
+                after_exec
             in
             let execute_remote () =
               remote_parts := part :: !remote_parts;
@@ -112,6 +131,7 @@ let attempt cl ~coordinator ~txn ~flavor ~k =
               Cluster.rpc cl ~src:coordinator ~dst:prim
                 ~bytes:(cfg.Config.op_msg_bytes * n_ops)
                 ~work:(local_work +. cfg.Config.msg_handle_cost)
+                ~on_fail:fail_txn
                 (fun () ->
                   record_ops session ops;
                   after_exec ())
@@ -136,7 +156,13 @@ let attempt cl ~coordinator ~txn ~flavor ~k =
                   let t0 = Engine.now engine in
                   Engine.schedule engine ~delay:cfg.Config.remaster_delay (fun () ->
                       remaster_time := !remaster_time +. (Engine.now engine -. t0);
-                      execute_locally ()))
+                      (* The transfer may not have landed (this node
+                         crashed mid-flight and the cluster rolled the
+                         remaster back): re-check who is primary. *)
+                      if not (Cluster.alive cl coordinator) then fail_txn ()
+                      else if Placement.has_primary placement ~part ~node:coordinator
+                      then execute_locally ()
+                      else execute_remote ()))
                 else
                   (* Remastering conflict: another transaction is
                      promoting this partition — fall back to 2PC. *)
@@ -156,28 +182,47 @@ let attempt cl ~coordinator ~txn ~flavor ~k =
                 let t0 = Engine.now engine in
                 Engine.schedule engine ~delay (fun () ->
                     remaster_time := !remaster_time +. (Engine.now engine -. t0);
-                    if not (Placement.has_replica placement ~part ~node:coordinator) then (
-                      if
-                        Placement.replica_count placement part
-                        >= Placement.max_replicas placement
-                      then
-                        (* Shed a secondary to make room for the pulled
-                           mastership; pick deterministically. *)
-                        (match Placement.secondaries placement part with
-                        | victim :: _ ->
-                            Placement.remove_secondary placement ~part ~node:victim
-                        | [] -> ());
-                      Placement.add_secondary placement ~part ~node:coordinator);
-                    Placement.remaster placement ~part ~node:coordinator;
-                    execute_locally ()))
+                    if not (Cluster.alive cl coordinator) then fail_txn ()
+                    else begin
+                      if not (Placement.has_replica placement ~part ~node:coordinator)
+                      then (
+                        if
+                          Placement.replica_count placement part
+                          >= Placement.max_replicas placement
+                        then
+                          (* Shed a secondary to make room for the pulled
+                             mastership; pick deterministically. *)
+                          (match Placement.secondaries placement part with
+                          | victim :: _ ->
+                              Placement.remove_secondary placement ~part ~node:victim
+                          | [] -> ());
+                        Placement.add_secondary placement ~part ~node:coordinator);
+                      let old_prim = Placement.primary placement part in
+                      Placement.remaster placement ~part ~node:coordinator;
+                      (* [remaster] demoted the old primary to secondary;
+                         if it died while the tuples were in flight, purge
+                         the phantom copy it would otherwise keep. *)
+                      if old_prim <> coordinator && not (Cluster.alive cl old_prim)
+                      then Placement.remove_secondary placement ~part ~node:old_prim;
+                      execute_locally ()
+                    end))
               else execute_remote ()
             in
             let wait = Cluster.partition_wait cl part in
-            if wait > 0.0 then (
-              let t0 = Engine.now engine in
-              Engine.schedule engine ~delay:wait (fun () ->
-                  remaster_time := !remaster_time +. (Engine.now engine -. t0);
-                  proceed ()))
+            if wait > 0.0 then
+              if wait = infinity then
+                (* Partition lost its quorum (no surviving replica):
+                   don't park the transaction on a never-firing event —
+                   time out and abort, the retry loop keeps probing
+                   until the partition's node recovers. *)
+                Engine.schedule engine ~delay:cfg.Config.rpc_timeout (fun () ->
+                    Metrics.record_timeout cl.Cluster.metrics;
+                    fail_txn ())
+              else (
+                let t0 = Engine.now engine in
+                Engine.schedule engine ~delay:wait (fun () ->
+                    remaster_time := !remaster_time +. (Engine.now engine -. t0);
+                    proceed ()))
             else proceed ()
       in
       let begin_groups () =
@@ -281,9 +326,13 @@ let attempt cl ~coordinator ~txn ~flavor ~k =
                 | Some cb ->
                     List.iter
                       (fun node ->
+                        (* The decision is already durable: a participant
+                           that never acknowledges (crashed, partitioned
+                           away) learns the outcome on recovery, so an
+                           exhausted commit RPC counts as delivered. *)
                         Cluster.rpc cl ~src:coordinator ~dst:node
                           ~bytes:cfg.Config.op_msg_bytes
-                          ~work:cfg.Config.msg_handle_cost cb)
+                          ~work:cfg.Config.msg_handle_cost ~on_fail:cb cb)
                       participants)
               else (
                 (* Validation failed: one-way aborts, no waiting. *)
@@ -301,16 +350,39 @@ let attempt cl ~coordinator ~txn ~flavor ~k =
                       base_phases @ [ (Metrics.Prepare, Engine.now engine -. prepare_start) ];
                   })
             in
-            match Proto.join_now (List.length participants) after_prepare with
-            | None -> ()
-            | Some cb ->
-                List.iter
-                  (fun node ->
-                    Cluster.rpc cl ~src:coordinator ~dst:node ~bytes:prepare_bytes
-                      ~work:cfg.Config.msg_handle_cost cb)
-                  participants))
+            (* Presumed abort (§2PC under faults): if any participant
+               stays unreachable through the RPC retry schedule, the
+               coordinator aborts, tells the reachable participants
+               one-way, and gives the attempt up. *)
+            let on_prepare_fail () =
+              List.iter
+                (fun node ->
+                  Network.send cl.Cluster.network ~src:coordinator ~dst:node
+                    ~bytes:cfg.Config.op_msg_bytes (fun () -> ()))
+                participants;
+              finish
+                {
+                  committed = false;
+                  single_node = false;
+                  remastered = !used_remaster;
+                  phases =
+                    base_phases
+                    @ [ (Metrics.Prepare, Engine.now engine -. prepare_start) ];
+                }
+            in
+            let ok, fail =
+              Proto.join_or_fail (List.length participants) ~on_ok:after_prepare
+                ~on_fail:on_prepare_fail
+            in
+            List.iter
+              (fun node ->
+                Cluster.rpc cl ~src:coordinator ~dst:node ~bytes:prepare_bytes
+                  ~work:cfg.Config.msg_handle_cost ~on_fail:fail ok)
+              participants))
       in
-      Engine.schedule engine ~delay:cfg.Config.txn_setup_cost begin_groups)
+      Engine.schedule engine
+        ~delay:(cfg.Config.txn_setup_cost *. Cluster.work_scale cl coordinator)
+        begin_groups)
 
 let run cl ~route ~flavor txn ~on_done =
   let cfg = cl.Cluster.cfg in

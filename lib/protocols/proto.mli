@@ -33,3 +33,16 @@ val join_now : int -> (unit -> unit) -> (unit -> unit) option
 (** [join_now n k]: if [n = 0], runs [k] immediately and returns
     [None]; otherwise returns [Some cb] where [cb] must be called
     exactly [n] times. *)
+
+val join_or_fail :
+  int ->
+  on_ok:(unit -> unit) ->
+  on_fail:(unit -> unit) ->
+  (unit -> unit) * (unit -> unit)
+(** Fallible barrier for quorum rounds (2PC prepare under faults).
+    [join_or_fail n ~on_ok ~on_fail] returns [(ok, fail)]: [on_ok] runs
+    once [ok] has been called [n] times with no intervening [fail];
+    the first [fail] before completion runs [on_fail] once and disarms
+    the barrier — later [ok]/[fail] calls (stragglers whose RPC
+    eventually resolved) are ignored. [n = 0] runs [on_ok] immediately
+    and returns inert closures. *)

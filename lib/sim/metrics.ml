@@ -32,6 +32,10 @@ type t = {
   phase_time : float array;
   mutable total_latency : float;
   series : Timeseries.t;
+  mutable timeouts : int;
+  mutable retries : int;
+  mutable drops : int;
+  avail_series : Timeseries.t;
 }
 
 let create ?(seed = 42) engine =
@@ -45,6 +49,10 @@ let create ?(seed = 42) engine =
     phase_time = Array.make 6 0.0;
     total_latency = 0.0;
     series = Timeseries.create ~interval:(Engine.seconds 1.0);
+    timeouts = 0;
+    retries = 0;
+    drops = 0;
+    avail_series = Timeseries.create ~interval:(Engine.seconds 1.0);
   }
 
 let record_commit t ~latency ~single_node ~remastered ~phases =
@@ -59,6 +67,17 @@ let record_commit t ~latency ~single_node ~remastered ~phases =
   Timeseries.incr t.series ~time:(Engine.now t.engine)
 
 let record_abort t = t.aborts <- t.aborts + 1
+let record_timeout t = t.timeouts <- t.timeouts + 1
+let record_retry t = t.retries <- t.retries + 1
+let record_drop t = t.drops <- t.drops + 1
+let timeouts t = t.timeouts
+let retries t = t.retries
+let drops t = t.drops
+
+let note_availability t ~frac =
+  Timeseries.add t.avail_series ~time:(Engine.now t.engine) frac
+
+let availability_series t = Timeseries.to_array t.avail_series
 let commits t = t.commits
 let aborts t = t.aborts
 let single_node_commits t = t.single_node
@@ -81,5 +100,8 @@ let reset_window t =
   t.single_node <- 0;
   t.remastered <- 0;
   t.total_latency <- 0.0;
+  t.timeouts <- 0;
+  t.retries <- 0;
+  t.drops <- 0;
   Array.fill t.phase_time 0 6 0.0;
   Stats.Reservoir.reset t.latency

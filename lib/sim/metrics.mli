@@ -34,6 +34,27 @@ val record_abort : t -> unit
 (** One abort-and-retry occurrence (the eventual commit is still
     recorded via [record_commit]). *)
 
+val record_timeout : t -> unit
+(** An RPC (or partition wait) gave up after exhausting its retries. *)
+
+val record_retry : t -> unit
+(** An RPC attempt timed out and was retried with backoff. *)
+
+val record_drop : t -> unit
+(** The fault layer killed a message (drop spec, partition, or dead
+    endpoint). *)
+
+val timeouts : t -> int
+val retries : t -> int
+val drops : t -> int
+
+val note_availability : t -> frac:float -> unit
+(** Record a point-in-time availability sample (0..1) into the
+    per-second series — the runner samples once per simulated second. *)
+
+val availability_series : t -> float array
+(** Availability samples bucketed per simulated second. *)
+
 val commits : t -> int
 val aborts : t -> int
 val single_node_commits : t -> int

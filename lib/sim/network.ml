@@ -6,36 +6,70 @@ type t = {
   per_byte : float;
   mutable total_bytes : int;
   mutable messages : int;
+  mutable drops : int;
   bytes_series : Timeseries.t;
+  fault : Fault.t option;
+  metrics : Metrics.t option;
 }
 
-let create ?(latency = 60.0) ?(per_byte = 0.0085) engine =
+let create ?(latency = 60.0) ?(per_byte = 0.0085) ?fault ?metrics engine =
   {
     engine;
     latency;
     per_byte;
     total_bytes = 0;
     messages = 0;
+    drops = 0;
     bytes_series = Timeseries.create ~interval:(Engine.seconds 1.0);
+    fault;
+    metrics;
   }
 
 let engine t = t.engine
+let fault t = t.fault
 let oneway_delay t ~bytes = t.latency +. (float_of_int bytes *. t.per_byte)
 let roundtrip t ~bytes = 2.0 *. oneway_delay t ~bytes
 
-let charge t ~bytes =
+(* Single accounting path: every non-local message — delivered or killed
+   by the fault layer — charges its bytes here, so [bytes_series] stays
+   consistent under drops. *)
+let account t ~bytes =
   t.total_bytes <- t.total_bytes + bytes;
   t.messages <- t.messages + 1;
   Timeseries.add t.bytes_series ~time:(Engine.now t.engine) (float_of_int bytes)
 
-let send t ~src ~dst ~bytes k =
+let charge t ~bytes = account t ~bytes
+
+let record_drop t =
+  t.drops <- t.drops + 1;
+  Option.iter Metrics.record_drop t.metrics
+
+let send t ~src ~dst ~bytes ?(on_drop = fun () -> ()) k =
   if src = dst then Engine.schedule t.engine ~delay:0.0 k
   else (
-    t.total_bytes <- t.total_bytes + bytes;
-    t.messages <- t.messages + 1;
-    Timeseries.add t.bytes_series ~time:(Engine.now t.engine) (float_of_int bytes);
-    Engine.schedule t.engine ~delay:(oneway_delay t ~bytes) k)
+    account t ~bytes;
+    match t.fault with
+    | None -> Engine.schedule t.engine ~delay:(oneway_delay t ~bytes) k
+    | Some f -> (
+        match Fault.link f ~now:(Engine.now t.engine) ~src ~dst with
+        | Fault.Blocked | Fault.Dropped ->
+            Fault.count_drop f;
+            if not (Fault.up f src && Fault.up f dst) then Fault.count_dead_drop f;
+            record_drop t;
+            on_drop ()
+        | Fault.Deliver extra ->
+            Engine.schedule t.engine ~delay:(oneway_delay t ~bytes +. extra)
+              (fun () ->
+                (* In-flight delivery to a node that died after the
+                   message left: lost on arrival. *)
+                if Fault.up f dst then k ()
+                else (
+                  Fault.count_drop f;
+                  Fault.count_dead_drop f;
+                  record_drop t;
+                  on_drop ()))))
 
 let total_bytes t = t.total_bytes
 let bytes_series t = t.bytes_series
 let message_count t = t.messages
+let drops t = t.drops

@@ -10,17 +10,29 @@
 type t
 
 val create :
-  ?latency:float -> ?per_byte:float -> Engine.t -> t
+  ?latency:float -> ?per_byte:float -> ?fault:Fault.t -> ?metrics:Metrics.t ->
+  Engine.t -> t
 (** [latency] one-way µs (default 60.), [per_byte] µs/byte
-    (default 0.0085). *)
+    (default 0.0085). When [fault] is given, every non-local send
+    consults it for partitions, probabilistic drop, latency jitter and
+    dead-endpoint loss; when [metrics] is given, fault-layer drops are
+    also counted there. *)
 
 val engine : t -> Engine.t
 
+val fault : t -> Fault.t option
+
 val send :
-  t -> src:int -> dst:int -> bytes:int -> (unit -> unit) -> unit
+  t -> src:int -> dst:int -> bytes:int -> ?on_drop:(unit -> unit) ->
+  (unit -> unit) -> unit
 (** Deliver a message of [bytes] from [src] to [dst]; the callback runs
     at arrival time. Local sends ([src = dst]) deliver immediately
-    (next event) and count no bytes. *)
+    (next event) and count no bytes. If the fault layer kills the
+    message (active partition, drop spec, or a dead endpoint — at send
+    time or while in flight), the delivery callback never runs and
+    [on_drop] (default: ignore) fires instead, at the moment of loss;
+    senders modelling a timeout delay it themselves. Bytes are charged
+    even for dropped messages — they left the NIC. *)
 
 val charge : t -> bytes:int -> unit
 (** Account bytes (and one message) without scheduling a delivery event
@@ -41,3 +53,6 @@ val bytes_series : t -> Lion_kernel.Timeseries.t
 (** Bytes bucketed per simulated second. *)
 
 val message_count : t -> int
+
+val drops : t -> int
+(** Messages killed by the fault layer. *)

@@ -2,6 +2,7 @@ module Engine = Lion_sim.Engine
 module Network = Lion_sim.Network
 module Metrics = Lion_sim.Metrics
 module Server = Lion_sim.Server
+module Fault = Lion_sim.Fault
 module Rng = Lion_kernel.Rng
 
 let log_src = Logs.Src.create "lion.cluster" ~doc:"Cluster replica operations"
@@ -13,6 +14,7 @@ type t = {
   engine : Engine.t;
   network : Network.t;
   metrics : Metrics.t;
+  fault : Fault.t;
   placement : Placement.t;
   store : Kvstore.t;
   replication : Replication.t;
@@ -28,37 +30,6 @@ type t = {
   mutable migration_count : int;
   mutable remaster_inflight : bool array;
 }
-
-let create ?(seed = 1) cfg =
-  let engine = Engine.create () in
-  let network = Network.create ~latency:cfg.Config.net_latency ~per_byte:cfg.Config.net_per_byte engine in
-  let parts = Config.total_partitions cfg in
-  {
-    cfg;
-    engine;
-    network;
-    metrics = Metrics.create ~seed engine;
-    placement =
-      Placement.create ~nodes:cfg.Config.nodes ~partitions:parts ~replicas:cfg.Config.replicas
-        ~max_replicas:cfg.Config.max_replicas;
-    store = Kvstore.create ();
-    replication =
-      Replication.create ~interval:cfg.Config.group_commit_interval ~partitions:parts
-        engine;
-    workers =
-      Array.init cfg.Config.nodes (fun _ ->
-          Server.create engine ~capacity:cfg.Config.workers_per_node);
-    services = Array.init cfg.Config.nodes (fun _ -> Server.create engine ~capacity:2);
-    rng = Rng.create seed;
-    part_available = Array.make parts 0.0;
-    part_access = Array.make parts 0.0;
-    node_alive = Array.make cfg.Config.nodes true;
-    part_last_remaster = Array.make parts neg_infinity;
-    remaster_count = 0;
-    replica_add_count = 0;
-    migration_count = 0;
-    remaster_inflight = Array.make parts false;
-  }
 
 let now t = Engine.now t.engine
 let node_count t = t.cfg.Config.nodes
@@ -92,7 +63,12 @@ let try_begin_remaster t ~part ~node =
   then false
   else (
     t.remaster_inflight.(part) <- true;
-    t.part_last_remaster.(part) <- now t;
+    (* Burn the cooldown optimistically so concurrent attempts see it,
+       but remember the previous stamp: a transfer that fails (target
+       died mid-flight) must not consume the partition's cooldown. *)
+    let started = now t in
+    let prev = t.part_last_remaster.(part) in
+    t.part_last_remaster.(part) <- started;
     let delay = t.cfg.Config.remaster_delay in
     block_partition t part (now t +. delay);
     (* Lagging-log synchronisation: ship the records the secondary has
@@ -106,9 +82,14 @@ let try_begin_remaster t ~part ~node =
         (* The placement may have changed while blocked only via this
            remaster (the inflight flag excludes races) — but the target
            may have died in the meantime. *)
-        if t.node_alive.(node) && Placement.has_replica t.placement ~part ~node then
+        if t.node_alive.(node) && Placement.has_replica t.placement ~part ~node then (
           Placement.remaster t.placement ~part ~node;
-        t.remaster_count <- t.remaster_count + 1;
+          t.remaster_count <- t.remaster_count + 1;
+          (* A partition parked as unavailable (lost quorum) now has a
+             live primary again: reopen it. *)
+          if t.part_available.(part) = infinity then t.part_available.(part) <- now t)
+        else if t.part_last_remaster.(part) = started then
+          t.part_last_remaster.(part) <- prev;
         t.remaster_inflight.(part) <- false);
     true)
 
@@ -138,25 +119,37 @@ let evict_one_secondary t ~part ~keep =
       in
       Option.iter (fun n -> Placement.remove_secondary t.placement ~part ~node:n) victim
 
+(* A copy source for [part]: the primary if it is live, else a live
+   secondary. [None] when every replica sits on a dead node — the data
+   is unreachable until one of them recovers. *)
+let live_replica_source t part =
+  let prim = Placement.primary t.placement part in
+  if t.node_alive.(prim) then Some prim
+  else List.find_opt (fun n -> t.node_alive.(n)) (Placement.secondaries t.placement part)
+
 let add_replica t ~part ~node ~on_ready =
   if not t.node_alive.(node) then ()
   else if Placement.has_replica t.placement ~part ~node then on_ready ()
-  else (
-    if Placement.replica_count t.placement part >= Placement.max_replicas t.placement then
-      evict_one_secondary t ~part ~keep:node;
-    let src = Placement.primary t.placement part in
-    Network.send t.network ~src ~dst:node ~bytes:t.cfg.Config.partition_bytes (fun () -> ());
-    (* Snapshotting on the source and applying on the destination
-       consume worker CPU, interfering with transaction processing. *)
-    Server.submit t.workers.(src) ~work:t.cfg.Config.migration_cpu_cost (fun () -> ());
-    Server.submit t.workers.(node) ~work:t.cfg.Config.migration_cpu_cost (fun () -> ());
-    t.migration_count <- t.migration_count + 1;
-    Engine.schedule t.engine ~delay:t.cfg.Config.replica_add_duration (fun () ->
-        if t.node_alive.(node) then (
-          if not (Placement.has_replica t.placement ~part ~node) then (
-            Placement.add_secondary t.placement ~part ~node;
-            t.replica_add_count <- t.replica_add_count + 1);
-          on_ready ())))
+  else
+    match live_replica_source t part with
+    | None -> () (* no live copy to replicate from *)
+    | Some src ->
+        if
+          Placement.replica_count t.placement part >= Placement.max_replicas t.placement
+        then evict_one_secondary t ~part ~keep:node;
+        Network.send t.network ~src ~dst:node ~bytes:t.cfg.Config.partition_bytes
+          (fun () -> ());
+        (* Snapshotting on the source and applying on the destination
+           consume worker CPU, interfering with transaction processing. *)
+        Server.submit t.workers.(src) ~work:t.cfg.Config.migration_cpu_cost (fun () -> ());
+        Server.submit t.workers.(node) ~work:t.cfg.Config.migration_cpu_cost (fun () -> ());
+        t.migration_count <- t.migration_count + 1;
+        Engine.schedule t.engine ~delay:t.cfg.Config.replica_add_duration (fun () ->
+            if t.node_alive.(node) then (
+              if not (Placement.has_replica t.placement ~part ~node) then (
+                Placement.add_secondary t.placement ~part ~node;
+                t.replica_add_count <- t.replica_add_count + 1);
+              on_ready ()))
 
 let remove_replica t ~part ~node =
   if Placement.has_secondary t.placement ~part ~node then
@@ -167,14 +160,40 @@ let alive t n = t.node_alive.(n)
 let alive_nodes t =
   List.filter (fun n -> t.node_alive.(n)) (List.init t.cfg.Config.nodes Fun.id)
 
+let work_scale t node = Fault.slow_factor t.fault ~now:(now t) node
+
+let availability t =
+  let nodes = t.cfg.Config.nodes in
+  let live = List.length (alive_nodes t) in
+  let parts = Placement.partitions t.placement in
+  let serveable = ref 0 in
+  for p = 0 to parts - 1 do
+    let prim = Placement.primary t.placement p in
+    if t.node_alive.(prim) && t.part_available.(p) <= now t then incr serveable
+  done;
+  float_of_int live /. float_of_int nodes
+  *. (float_of_int !serveable /. float_of_int parts)
+
 let fail_node t node =
   if t.node_alive.(node) then (
     Log.warn (fun m -> m "node %d failed at t=%.0fus" node (now t));
     t.node_alive.(node) <- false;
+    Fault.mark_down t.fault node;
     let parts = Placement.partitions t.placement in
     for part = 0 to parts - 1 do
-      if Placement.has_secondary t.placement ~part ~node then
-        Placement.remove_secondary t.placement ~part ~node
+      if Placement.has_secondary t.placement ~part ~node then (
+        Placement.remove_secondary t.placement ~part ~node;
+        (* This may have been the last live copy of a partition whose
+           primary died earlier (cascading failure): park it until a
+           replica holder recovers. *)
+        let prim = Placement.primary t.placement part in
+        if
+          (not t.node_alive.(prim))
+          && not
+               (List.exists
+                  (fun n -> t.node_alive.(n))
+                  (Placement.secondaries t.placement part))
+        then t.part_available.(part) <- infinity)
     done;
     for part = 0 to parts - 1 do
       if Placement.has_primary t.placement ~part ~node then (
@@ -194,7 +213,10 @@ let fail_node t node =
                     (Placement.secondaries t.placement part)
                 with
                 | winner :: _ when Placement.primary t.placement part = node ->
-                    Placement.remaster t.placement ~part ~node:winner
+                    Placement.remaster t.placement ~part ~node:winner;
+                    (* [Placement.remaster] demoted the dead primary to a
+                       secondary; purge that phantom copy. *)
+                    Placement.remove_secondary t.placement ~part ~node
                 | _ -> ()))
     done)
 
@@ -202,22 +224,74 @@ let recover_node t node =
   if not t.node_alive.(node) then (
     Log.info (fun m -> m "node %d recovered at t=%.0fus" node (now t));
     t.node_alive.(node) <- true;
+    Fault.mark_up t.fault node;
     let parts = Placement.partitions t.placement in
+    (* The log-shipping peer for resynchronisation: any live node can
+       serve the tail of the durable log (group-commit makes every
+       commit reach the log before acknowledgement). *)
+    let peer =
+      List.find_opt (fun n -> n <> node) (alive_nodes t)
+    in
     for part = 0 to parts - 1 do
       if Placement.has_primary t.placement ~part ~node && t.part_available.(part) = infinity
-      then t.part_available.(part) <- now t +. t.cfg.Config.election_delay
+      then begin
+        (* The orphaned primary rejoins with a stale copy: resync the
+           unacknowledged log suffix through the replication model —
+           the same lagging-log rule [try_begin_remaster] applies —
+           and charge it to the network before serving again. *)
+        let lag_bytes =
+          Stdlib.max 256
+            (Replication.lag t.replication ~part * t.cfg.Config.record_bytes)
+        in
+        (match peer with
+        | Some src -> Network.send t.network ~src ~dst:node ~bytes:lag_bytes (fun () -> ())
+        | None -> Network.charge t.network ~bytes:lag_bytes);
+        t.part_available.(part) <-
+          now t +. t.cfg.Config.election_delay
+          +. Network.oneway_delay t.network ~bytes:lag_bytes
+      end
     done)
 
 let node_load t n = Server.busy_time t.workers.(n)
 let reset_load_counters t = Array.iter Server.reset_counters t.workers
-let submit_local t ~node ~work k = Server.submit t.workers.(node) ~work k
 
-let rpc t ~src ~dst ~bytes ~work k =
-  if src = dst then Server.submit t.services.(dst) ~work k
+let submit_local t ?(on_fail = fun () -> ()) ~node ~work k =
+  if t.node_alive.(node) then
+    Server.submit t.workers.(node) ~work:(work *. work_scale t node) k
+  else on_fail ()
+
+let rpc t ?(on_fail = fun () -> ()) ~src ~dst ~bytes ~work k =
+  if src = dst then
+    if t.node_alive.(dst) then
+      Server.submit t.services.(dst) ~work:(work *. work_scale t dst) k
+    else on_fail ()
   else
-    Network.send t.network ~src ~dst ~bytes (fun () ->
-        Server.submit t.services.(dst) ~work (fun () ->
-            Network.send t.network ~src:dst ~dst:src ~bytes k))
+    let retries = t.cfg.Config.rpc_retries in
+    let rec go attempt =
+      let t0 = now t in
+      (* The simulator is omniscient: a timeout only ever matters when
+         the request or reply is actually lost, so the timer is created
+         lazily at the moment of loss (healthy runs schedule no extra
+         events — determinism is preserved bit-for-bit). *)
+      let fail_after_timeout () =
+        let remaining = Stdlib.max 0.0 (t0 +. t.cfg.Config.rpc_timeout -. now t) in
+        Engine.schedule t.engine ~delay:remaining (fun () ->
+            if attempt >= retries then (
+              Metrics.record_timeout t.metrics;
+              on_fail ())
+            else (
+              Metrics.record_retry t.metrics;
+              let backoff =
+                t.cfg.Config.rpc_backoff *. float_of_int (1 lsl attempt)
+              in
+              Engine.schedule t.engine ~delay:backoff (fun () -> go (attempt + 1))))
+      in
+      Network.send t.network ~src ~dst ~bytes ~on_drop:fail_after_timeout (fun () ->
+          Server.submit t.services.(dst) ~work:(work *. work_scale t dst) (fun () ->
+              Network.send t.network ~src:dst ~dst:src ~bytes
+                ~on_drop:fail_after_timeout k))
+    in
+    go 0
 
 let acquire_worker t ~node k = Server.acquire t.workers.(node) k
 let release_worker t ~node lease = Server.release t.workers.(node) lease
@@ -229,6 +303,71 @@ let replicate_commit t ~parts =
       let src = Placement.primary t.placement p in
       List.iter
         (fun dst ->
-          Network.send t.network ~src ~dst ~bytes:t.cfg.Config.record_bytes (fun () -> ()))
+          (* Log shipping retries on loss like an RPC, but needs no
+             reply: the group-commit stream is idempotent, so the only
+             cost of a loss is the retransmission. *)
+          let rec ship attempt =
+            Network.send t.network ~src ~dst ~bytes:t.cfg.Config.record_bytes
+              ~on_drop:(fun () ->
+                if attempt < t.cfg.Config.rpc_retries then (
+                  Metrics.record_retry t.metrics;
+                  let backoff =
+                    t.cfg.Config.rpc_backoff *. float_of_int (1 lsl attempt)
+                  in
+                  Engine.schedule t.engine ~delay:backoff (fun () ->
+                      ship (attempt + 1)))
+                else Metrics.record_timeout t.metrics)
+              (fun () -> ())
+          in
+          ship 0)
         (Placement.secondaries t.placement p))
     parts
+
+let create ?(seed = 1) cfg =
+  let engine = Engine.create () in
+  let metrics = Metrics.create ~seed engine in
+  let fault = Fault.create ~seed ~nodes:cfg.Config.nodes cfg.Config.fault_plan in
+  let network =
+    Network.create ~latency:cfg.Config.net_latency ~per_byte:cfg.Config.net_per_byte
+      ~fault ~metrics engine
+  in
+  let parts = Config.total_partitions cfg in
+  let t =
+    {
+      cfg;
+      engine;
+      network;
+      metrics;
+      fault;
+      placement =
+        Placement.create ~nodes:cfg.Config.nodes ~partitions:parts ~replicas:cfg.Config.replicas
+          ~max_replicas:cfg.Config.max_replicas;
+      store = Kvstore.create ();
+      replication =
+        Replication.create ~interval:cfg.Config.group_commit_interval ~partitions:parts
+          engine;
+      workers =
+        Array.init cfg.Config.nodes (fun _ ->
+            Server.create engine ~capacity:cfg.Config.workers_per_node);
+      services = Array.init cfg.Config.nodes (fun _ -> Server.create engine ~capacity:2);
+      rng = Rng.create seed;
+      part_available = Array.make parts 0.0;
+      part_access = Array.make parts 0.0;
+      node_alive = Array.make cfg.Config.nodes true;
+      part_last_remaster = Array.make parts neg_infinity;
+      remaster_count = 0;
+      replica_add_count = 0;
+      migration_count = 0;
+      remaster_inflight = Array.make parts false;
+    }
+  in
+  (* Crash/recover events from the fault plan drive the same failover
+     machinery as explicit [fail_node] / [recover_node] calls. *)
+  List.iter
+    (fun (time, ev) ->
+      Engine.at engine ~time (fun () ->
+          match ev with
+          | `Crash n -> fail_node t n
+          | `Recover n -> recover_node t n))
+    (Fault.crash_events cfg.Config.fault_plan);
+  t

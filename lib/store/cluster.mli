@@ -9,6 +9,10 @@ type t = {
   engine : Lion_sim.Engine.t;
   network : Lion_sim.Network.t;
   metrics : Lion_sim.Metrics.t;
+  fault : Lion_sim.Fault.t;
+      (** fault-injection state shared with the network layer; crash
+          and recover events from [Config.fault_plan] are scheduled at
+          [create] time and drive [fail_node] / [recover_node] *)
   placement : Placement.t;
   store : Kvstore.t;
   replication : Replication.t;
@@ -68,7 +72,10 @@ val try_begin_remaster : t -> part:int -> node:int -> bool
     remaster of this partition is already in flight (the caller must
     fall back to 2PC) or if [node] holds no replica. On success the
     partition blocks for [cfg.remaster_delay]; at the end the placement
-    is updated and lagging-log bytes are charged to the network. *)
+    is updated and lagging-log bytes are charged to the network.
+    [remaster_count] and the [remaster_cooldown] stamp are only charged
+    when the transfer actually completes — a target dying mid-flight
+    rolls the cooldown back so the partition can retry immediately. *)
 
 val remaster_sync : t -> part:int -> node:int -> unit
 (** Planner-side immediate remaster used when applying a plan outside
@@ -89,19 +96,36 @@ val alive : t -> int -> bool
 
 val alive_nodes : t -> int list
 
+val work_scale : t -> int -> float
+(** CPU slowdown multiplier for a node right now: the product of active
+    [Fault.Straggler] specs covering it, 1.0 when healthy. Local and
+    RPC service work is stretched by this factor. *)
+
+val availability : t -> float
+(** Point-in-time availability in [0,1]: the fraction of live nodes
+    times the fraction of partitions whose primary is live and not
+    blocked (by an election, remaster or lost-quorum wait). A healthy
+    cluster reads 1.0; a crashed node degrades both factors until
+    elections finish and the node recovers. *)
+
 val fail_node : t -> int -> unit
 (** Crash a node: its replicas become unreachable (secondaries are
-    dropped from the placement); every partition whose primary lived
-    there blocks for [cfg.election_delay] and is then failed over to a
-    surviving secondary. A partition with no surviving replica stays
-    blocked until the node recovers (data loss is out of scope).
-    Idempotent. *)
+    dropped from the placement — including the phantom secondary that
+    failover's own [Placement.remaster] would otherwise leave on the
+    dead node); the fault layer starts dropping messages to and from
+    it; every partition whose primary lived there blocks for
+    [cfg.election_delay] and is then failed over to a surviving
+    secondary. A partition with no surviving replica stays blocked
+    until the node recovers (data loss is out of scope). Idempotent. *)
 
 val recover_node : t -> int -> unit
 (** Bring a node back empty: it rejoins with no replicas (its state is
-    stale) and is repopulated by subsequent planner decisions. Restores
-    any partitions that were blocked for lack of replicas by reviving
-    their replica on this node. *)
+    stale) and is repopulated by subsequent planner decisions. Any
+    partition that was blocked for lack of replicas revives on this
+    node after resynchronising: the unacknowledged log suffix is
+    shipped from a live peer (charged to the network, same lagging-log
+    rule as [try_begin_remaster]) and the partition reopens after
+    [cfg.election_delay] plus the shipping delay. *)
 
 val node_load : t -> int -> float
 (** Busy-time of the node's worker pool since the last counter reset —
@@ -109,14 +133,28 @@ val node_load : t -> int -> float
 
 val reset_load_counters : t -> unit
 
-val submit_local : t -> node:int -> work:float -> (unit -> unit) -> unit
-(** Run [work] µs on one of [node]'s workers, then the continuation. *)
+val submit_local :
+  t -> ?on_fail:(unit -> unit) -> node:int -> work:float -> (unit -> unit) -> unit
+(** Run [work] µs (stretched by [work_scale]) on one of [node]'s
+    workers, then the continuation. A dead node refuses new work:
+    [on_fail] (default: ignore) fires immediately instead. *)
 
 val rpc :
-  t -> src:int -> dst:int -> bytes:int -> work:float -> (unit -> unit) -> unit
+  t ->
+  ?on_fail:(unit -> unit) ->
+  src:int -> dst:int -> bytes:int -> work:float -> (unit -> unit) -> unit
 (** Round trip: request message, [work] µs of service on [dst]'s
-    messenger pool, reply message; continuation fires at reply arrival.
-    Local calls skip the wire but still consume [work]. *)
+    messenger pool (stretched by [dst]'s [work_scale]), reply message;
+    continuation fires at reply arrival. Local calls skip the wire but
+    still consume [work]. If the request or reply is lost (fault layer:
+    drop, partition, dead endpoint), the sender times out
+    [cfg.rpc_timeout] µs after the attempt began and retransmits with
+    exponential backoff ([cfg.rpc_backoff] doubling per attempt), up to
+    [cfg.rpc_retries] retries; exhausting them records a timeout and
+    fires [on_fail] (default: ignore). A retransmission may re-execute
+    [work] on [dst] — modelled services are idempotent. Timers are
+    created lazily at the moment of loss, so healthy runs schedule no
+    extra events and stay bit-for-bit deterministic. *)
 
 val acquire_worker : t -> node:int -> (Lion_sim.Server.lease -> unit) -> unit
 (** Hold one of [node]'s workers (a transaction coordinator's thread)
@@ -127,4 +165,6 @@ val release_worker : t -> node:int -> Lion_sim.Server.lease -> unit
 val replicate_commit : t -> parts:int list -> unit
 (** Charge asynchronous replication traffic for a commit touching
     [parts]: one log record per secondary replica. Group-commit batching
-    is modelled by the per-byte cost only (no blocking). *)
+    is modelled by the per-byte cost only (no blocking). Lost log
+    records are retransmitted with the RPC backoff schedule (the stream
+    is idempotent); exhausting the retries records a timeout. *)

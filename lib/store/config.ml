@@ -20,6 +20,10 @@ type t = {
   replication_factor_sync : bool;
   group_commit_interval : float;
   batch_size : int;
+  rpc_timeout : float;
+  rpc_retries : int;
+  rpc_backoff : float;
+  fault_plan : Lion_sim.Fault.plan;
 }
 
 let default =
@@ -45,6 +49,10 @@ let default =
     replication_factor_sync = false;
     group_commit_interval = 10_000.0;
     batch_size = 10_000;
+    rpc_timeout = 5_000.0;
+    rpc_retries = 3;
+    rpc_backoff = 200.0;
+    fault_plan = Lion_sim.Fault.none;
   }
 
 let total_partitions t = t.nodes * t.partitions_per_node

@@ -38,6 +38,18 @@ type t = {
       (** if true, commit waits for replication (no group commit) *)
   group_commit_interval : float;  (** epoch length for group commit, µs *)
   batch_size : int;  (** batch execution epoch size (paper: 10k) *)
+  rpc_timeout : float;
+      (** µs a sender waits for an RPC reply before declaring the
+          attempt lost (see docs/FAULTS.md) *)
+  rpc_retries : int;
+      (** bounded retransmissions after the first attempt; once
+          exhausted the caller's [on_fail] fires *)
+  rpc_backoff : float;
+      (** base µs of the exponential backoff between RPC retries
+          (doubles per attempt) *)
+  fault_plan : Lion_sim.Fault.plan;
+      (** scheduled crashes / partitions / drop / jitter / stragglers
+          injected into this cluster (default: none) *)
 }
 
 val default : t

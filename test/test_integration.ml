@@ -119,6 +119,59 @@ let test_dynamic_workload_runs () =
   in
   Alcotest.(check bool) "survives phase switches" true (r.Runner.commits > 0)
 
+(* --- chaos: a crash plan must degrade and then recover --- *)
+
+let test_crash_plan_degrades_and_recovers () =
+  let module Engine = Lion_sim.Engine in
+  let cfg =
+    {
+      Config.default with
+      Config.fault_plan =
+        Lion_sim.Fault.crash_recover ~node:1 ~at:(Engine.seconds 2.0)
+          ~downtime:(Engine.seconds 2.0);
+    }
+  in
+  let rc = { Runner.quick with Runner.warmup = 0.0; duration = 8.0; tick_every = 1.0 } in
+  let r =
+    Runner.run ~seed:1 ~cfg
+      ~make:(fun cl ->
+        Lion_core.Standard.create
+          ~config:{ Lion_core.Planner.default_config with predict = false; use_lstm = false }
+          cl)
+      ~gen:(Workloads.ycsb ~cross:0.5 cfg) rc
+  in
+  Alcotest.(check bool) "commits despite crash" true (r.Runner.commits > 0);
+  Alcotest.(check bool) "losses observed" true (r.Runner.drops > 0);
+  Alcotest.(check bool) "retries observed" true (r.Runner.retries > 0);
+  Alcotest.(check bool) "availability dipped" true
+    (Array.exists (fun a -> a < 1.0) r.Runner.availability);
+  Alcotest.(check bool) "unavailability integrated" true (r.Runner.unavail_seconds > 0.0);
+  Alcotest.(check bool)
+    (Printf.sprintf "finite recovery (%.0fs)" r.Runner.time_to_recover)
+    true
+    (Float.is_finite r.Runner.time_to_recover);
+  (* Still committing at full clip in the final second. *)
+  let series = r.Runner.throughput_series in
+  Alcotest.(check bool) "throughput recovered" true
+    (Array.length series >= 8 && series.(7) > 0.5 *. series.(1))
+
+let test_empty_fault_plan_is_free () =
+  (* The fault machinery must not disturb a healthy run: an explicit
+     empty plan reproduces the exact same simulation, commit for
+     commit, and records no fault events. *)
+  let go plan =
+    Runner.run ~seed:1 ~cfg:{ cfg with Config.fault_plan = plan }
+      ~make:Lion_protocols.Twopc.create
+      ~gen:(Workloads.ycsb ~cross:0.5 cfg) tiny
+  in
+  let base = go Lion_sim.Fault.none in
+  Alcotest.(check int) "no timeouts" 0 base.Runner.timeouts;
+  Alcotest.(check int) "no retries" 0 base.Runner.retries;
+  Alcotest.(check int) "no drops" 0 base.Runner.drops;
+  Alcotest.(check bool) "fully available" true
+    (Array.for_all (fun a -> a = 1.0) base.Runner.availability);
+  Alcotest.(check (float 0.0)) "never degraded" 0.0 base.Runner.time_to_recover
+
 let test_experiments_registry_complete () =
   let ids = List.map (fun (id, _, _) -> id) Lion_harness.Experiments.registry in
   List.iter
@@ -147,6 +200,13 @@ let () =
           Alcotest.test_case "Star capped" `Slow test_star_flat_across_cross_ratio;
           Alcotest.test_case "TPC-C under Lion" `Quick test_tpcc_runs_under_lion;
           Alcotest.test_case "dynamic workload" `Quick test_dynamic_workload_runs;
+        ] );
+      ( "chaos",
+        [
+          Alcotest.test_case "crash plan degrades and recovers" `Slow
+            test_crash_plan_degrades_and_recovers;
+          Alcotest.test_case "empty fault plan is free" `Quick
+            test_empty_fault_plan_is_free;
         ] );
       ( "experiments",
         [ Alcotest.test_case "registry complete" `Quick test_experiments_registry_complete ] );

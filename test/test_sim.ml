@@ -200,6 +200,146 @@ let test_network_bytes_series () =
   let series = Lion_kernel.Timeseries.to_array (Network.bytes_series n) in
   Alcotest.(check (float 1e-9)) "bucket 1 holds bytes" 64.0 series.(1)
 
+(* --- fault layer --- *)
+
+let test_fault_empty_plan_inert () =
+  let f = Fault.create ~nodes:4 Fault.none in
+  for src = 0 to 3 do
+    for dst = 0 to 3 do
+      match Fault.link f ~now:12345.0 ~src ~dst with
+      | Fault.Deliver extra ->
+          Alcotest.(check (float 0.0)) "no extra delay" 0.0 extra
+      | _ -> Alcotest.fail "empty plan must deliver"
+    done
+  done;
+  for n = 0 to 3 do
+    Alcotest.(check bool) "all up" true (Fault.up f n);
+    Alcotest.(check (float 0.0)) "no slowdown" 1.0
+      (Fault.slow_factor f ~now:12345.0 n)
+  done
+
+let test_fault_partition_windows () =
+  let f =
+    Fault.create ~nodes:5
+      [ Fault.partition ~groups:[ [ 0; 1 ]; [ 2; 3 ] ] ~from_:100.0 ~until:200.0 ]
+  in
+  let blocked ~now ~src ~dst =
+    match Fault.link f ~now ~src ~dst with Fault.Blocked -> true | _ -> false
+  in
+  Alcotest.(check bool) "cross-group blocked" true (blocked ~now:150.0 ~src:0 ~dst:2);
+  Alcotest.(check bool) "symmetric" true (blocked ~now:150.0 ~src:3 ~dst:1);
+  Alcotest.(check bool) "in-group flows" false (blocked ~now:150.0 ~src:0 ~dst:1);
+  Alcotest.(check bool) "unlisted node reaches all" false
+    (blocked ~now:150.0 ~src:4 ~dst:0);
+  Alcotest.(check bool) "before window" false (blocked ~now:50.0 ~src:0 ~dst:2);
+  Alcotest.(check bool) "healed after window" false (blocked ~now:250.0 ~src:0 ~dst:2)
+
+let test_fault_drop_probabilities () =
+  let always =
+    Fault.create ~nodes:2 [ Fault.drop ~prob:1.0 ~from_:0.0 ~until:100.0 () ]
+  in
+  (match Fault.link always ~now:50.0 ~src:0 ~dst:1 with
+  | Fault.Dropped -> ()
+  | _ -> Alcotest.fail "prob 1.0 must drop");
+  (match Fault.link always ~now:150.0 ~src:0 ~dst:1 with
+  | Fault.Deliver _ -> ()
+  | _ -> Alcotest.fail "outside window must deliver");
+  let never =
+    Fault.create ~nodes:2 [ Fault.drop ~prob:0.0 ~from_:0.0 ~until:100.0 () ]
+  in
+  for _ = 1 to 20 do
+    match Fault.link never ~now:50.0 ~src:0 ~dst:1 with
+    | Fault.Deliver _ -> ()
+    | _ -> Alcotest.fail "prob 0.0 must deliver"
+  done
+
+let test_fault_straggler_window () =
+  let f =
+    Fault.create ~nodes:3
+      [
+        Fault.straggler ~node:1 ~factor:4.0 ~from_:100.0 ~until:200.0;
+        Fault.straggler ~node:1 ~factor:2.0 ~from_:150.0 ~until:200.0;
+      ]
+  in
+  Alcotest.(check (float 0.0)) "before window" 1.0 (Fault.slow_factor f ~now:50.0 1);
+  Alcotest.(check (float 0.0)) "inside window" 4.0 (Fault.slow_factor f ~now:120.0 1);
+  Alcotest.(check (float 0.0)) "overlap multiplies" 8.0
+    (Fault.slow_factor f ~now:160.0 1);
+  Alcotest.(check (float 0.0)) "other node untouched" 1.0
+    (Fault.slow_factor f ~now:120.0 0);
+  Alcotest.(check (float 0.0)) "after window" 1.0 (Fault.slow_factor f ~now:250.0 1)
+
+let test_fault_dropped_message_still_charged () =
+  let e = Engine.create () in
+  let f =
+    Fault.create ~nodes:2 [ Fault.drop ~prob:1.0 ~from_:0.0 ~until:1e9 () ]
+  in
+  let n = Network.create ~fault:f e in
+  let delivered = ref false and dropped = ref false in
+  Network.send n ~src:0 ~dst:1 ~bytes:700
+    ~on_drop:(fun () -> dropped := true)
+    (fun () -> delivered := true);
+  Engine.run_all e ();
+  Alcotest.(check bool) "never delivered" false !delivered;
+  Alcotest.(check bool) "on_drop fired" true !dropped;
+  Alcotest.(check int) "bytes still charged" 700 (Network.total_bytes n);
+  Alcotest.(check int) "drop counted" 1 (Network.drops n)
+
+let test_fault_send_to_dead_node_drops () =
+  let e = Engine.create () in
+  let f = Fault.create ~nodes:2 Fault.none in
+  let n = Network.create ~fault:f e in
+  Fault.mark_down f 1;
+  let delivered = ref false and dropped = ref false in
+  Network.send n ~src:0 ~dst:1 ~bytes:64
+    ~on_drop:(fun () -> dropped := true)
+    (fun () -> delivered := true);
+  Engine.run_all e ();
+  Alcotest.(check bool) "dead dst never delivers" false !delivered;
+  Alcotest.(check bool) "on_drop fired" true !dropped;
+  (* A message in flight when the destination dies is also lost. *)
+  Fault.mark_up f 1;
+  let in_flight_lost = ref false in
+  Network.send n ~src:0 ~dst:1 ~bytes:64
+    ~on_drop:(fun () -> in_flight_lost := true)
+    (fun () -> ());
+  Engine.schedule e ~delay:1.0 (fun () -> Fault.mark_down f 1);
+  Engine.run_all e ();
+  Alcotest.(check bool) "in-flight delivery dropped" true !in_flight_lost
+
+let test_fault_same_seed_replays () =
+  let plan =
+    [
+      Fault.drop ~prob:0.5 ~from_:0.0 ~until:1e9 ();
+      Fault.jitter ~extra:25.0 ~from_:0.0 ~until:1e9;
+    ]
+  in
+  let trace f =
+    List.init 200 (fun i ->
+        match Fault.link f ~now:(float_of_int i) ~src:0 ~dst:1 with
+        | Fault.Deliver extra -> Printf.sprintf "d%.6f" extra
+        | Fault.Blocked -> "b"
+        | Fault.Dropped -> "x")
+  in
+  let a = trace (Fault.create ~seed:7 ~nodes:2 plan) in
+  let b = trace (Fault.create ~seed:7 ~nodes:2 plan) in
+  let c = trace (Fault.create ~seed:8 ~nodes:2 plan) in
+  Alcotest.(check (list string)) "same seed replays" a b;
+  Alcotest.(check bool) "different seed diverges" true (a <> c)
+
+let test_fault_crash_events_sorted () =
+  let plan =
+    Fault.crash_recover ~node:2 ~at:500.0 ~downtime:100.0
+    @ [ Fault.crash ~node:0 ~at:50.0 () ]
+  in
+  let evs = Fault.crash_events plan in
+  Alcotest.(check int) "three events" 3 (List.length evs);
+  let times = List.map fst evs in
+  Alcotest.(check (list (float 0.0))) "sorted by time" [ 50.0; 500.0; 600.0 ] times;
+  match evs with
+  | [ (_, `Crash 0); (_, `Crash 2); (_, `Recover 2) ] -> ()
+  | _ -> Alcotest.fail "unexpected event shapes"
+
 (* --- metrics --- *)
 
 let test_metrics_counts () =
@@ -249,9 +389,39 @@ let test_metrics_reset_window () =
   let e = Engine.create () in
   let m = Metrics.create e in
   Metrics.record_commit m ~latency:50.0 ~single_node:true ~remastered:false ~phases:[];
+  Metrics.record_timeout m;
+  Metrics.record_retry m;
+  Metrics.record_drop m;
   Metrics.reset_window m;
   Alcotest.(check int) "commits cleared" 0 (Metrics.commits m);
-  Alcotest.(check (float 0.0)) "latency cleared" 0.0 (Metrics.latency_percentile m 50.0)
+  Alcotest.(check (float 0.0)) "latency cleared" 0.0 (Metrics.latency_percentile m 50.0);
+  Alcotest.(check int) "timeouts cleared" 0 (Metrics.timeouts m);
+  Alcotest.(check int) "retries cleared" 0 (Metrics.retries m);
+  Alcotest.(check int) "drops cleared" 0 (Metrics.drops m)
+
+let test_metrics_fault_counters () =
+  let e = Engine.create () in
+  let m = Metrics.create e in
+  Metrics.record_timeout m;
+  Metrics.record_retry m;
+  Metrics.record_retry m;
+  Metrics.record_drop m;
+  Metrics.record_drop m;
+  Metrics.record_drop m;
+  Alcotest.(check int) "timeouts" 1 (Metrics.timeouts m);
+  Alcotest.(check int) "retries" 2 (Metrics.retries m);
+  Alcotest.(check int) "drops" 3 (Metrics.drops m)
+
+let test_metrics_availability_series () =
+  let e = Engine.create () in
+  let m = Metrics.create e in
+  Metrics.note_availability m ~frac:1.0;
+  Engine.schedule e ~delay:(Engine.seconds 1.5) (fun () ->
+      Metrics.note_availability m ~frac:0.5);
+  Engine.run_all e ();
+  let series = Metrics.availability_series m in
+  Alcotest.(check (float 1e-9)) "bucket 0" 1.0 series.(0);
+  Alcotest.(check (float 1e-9)) "bucket 1" 0.5 series.(1)
 
 let test_metrics_percentiles () =
   let e = Engine.create () in
@@ -332,6 +502,19 @@ let () =
           Alcotest.test_case "byte accounting" `Quick test_network_accounting;
           Alcotest.test_case "bytes series" `Quick test_network_bytes_series;
         ] );
+      ( "fault",
+        [
+          Alcotest.test_case "empty plan inert" `Quick test_fault_empty_plan_inert;
+          Alcotest.test_case "partition windows" `Quick test_fault_partition_windows;
+          Alcotest.test_case "drop probabilities" `Quick test_fault_drop_probabilities;
+          Alcotest.test_case "straggler window" `Quick test_fault_straggler_window;
+          Alcotest.test_case "dropped message still charged" `Quick
+            test_fault_dropped_message_still_charged;
+          Alcotest.test_case "send to dead node drops" `Quick
+            test_fault_send_to_dead_node_drops;
+          Alcotest.test_case "same seed replays" `Quick test_fault_same_seed_replays;
+          Alcotest.test_case "crash events sorted" `Quick test_fault_crash_events_sorted;
+        ] );
       ( "metrics",
         [
           Alcotest.test_case "commit/abort counts" `Quick test_metrics_counts;
@@ -339,6 +522,8 @@ let () =
           Alcotest.test_case "phase fractions" `Quick test_metrics_phase_fractions;
           Alcotest.test_case "series bucketing" `Quick test_metrics_series_buckets_by_time;
           Alcotest.test_case "reset window" `Quick test_metrics_reset_window;
+          Alcotest.test_case "fault counters" `Quick test_metrics_fault_counters;
+          Alcotest.test_case "availability series" `Quick test_metrics_availability_series;
           Alcotest.test_case "percentiles" `Quick test_metrics_percentiles;
         ] );
       ( "properties",

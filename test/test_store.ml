@@ -514,6 +514,148 @@ let test_lion_survives_failover () =
   Alcotest.(check (list int)) "no primaries on dead node" []
     (Placement.parts_primary_on cl.Cluster.placement 2)
 
+(* --- RPC timeouts, retries and chaos invariants --- *)
+
+let test_rpc_dead_node_times_out () =
+  let cl = mk_cluster () in
+  Cluster.fail_node cl 1;
+  let failed_at = ref (-1.0) and delivered = ref false in
+  Cluster.rpc cl ~src:0 ~dst:1 ~bytes:64 ~work:5.0
+    ~on_fail:(fun () -> failed_at := Engine.now cl.Cluster.engine)
+    (fun () -> delivered := true);
+  Engine.run_all cl.Cluster.engine ();
+  Alcotest.(check bool) "success continuation never ran" false !delivered;
+  (* Attempts start at 0, 5200, 10600 and 16400 µs: each times out
+     after the 5000 µs rpc_timeout, with exponential backoffs of
+     200/400/800 µs between attempts. *)
+  Alcotest.(check (float 1e-6)) "gave up after the retry budget" 21_400.0 !failed_at;
+  Alcotest.(check int) "three retries" 3 (Lion_sim.Metrics.retries cl.Cluster.metrics);
+  Alcotest.(check int) "one timeout" 1 (Lion_sim.Metrics.timeouts cl.Cluster.metrics);
+  Alcotest.(check int) "every attempt dropped" 4 (Lion_sim.Metrics.drops cl.Cluster.metrics)
+
+let test_rpc_retry_succeeds_after_recovery () =
+  let cl = mk_cluster () in
+  Cluster.fail_node cl 1;
+  let delivered_at = ref (-1.0) and failed = ref false in
+  Cluster.rpc cl ~src:0 ~dst:1 ~bytes:0 ~work:0.0
+    ~on_fail:(fun () -> failed := true)
+    (fun () -> delivered_at := Engine.now cl.Cluster.engine);
+  Engine.schedule cl.Cluster.engine ~delay:3_000.0 (fun () -> Cluster.recover_node cl 1);
+  Engine.run_all cl.Cluster.engine ();
+  Alcotest.(check bool) "no failure surfaced" false !failed;
+  (* First attempt lost at t=0, timer at 5000, backoff 200; the retry
+     at 5200 finds the node recovered: two 60 µs one-way trips later. *)
+  Alcotest.(check (float 1e-6)) "retry delivered" 5_320.0 !delivered_at;
+  Alcotest.(check int) "one retry" 1 (Lion_sim.Metrics.retries cl.Cluster.metrics);
+  Alcotest.(check int) "no timeout" 0 (Lion_sim.Metrics.timeouts cl.Cluster.metrics)
+
+let test_submit_local_dead_node_fails () =
+  let cl = mk_cluster () in
+  Cluster.fail_node cl 1;
+  let failed = ref false and ran = ref false in
+  Cluster.submit_local cl ~node:1 ~work:5.0
+    ~on_fail:(fun () -> failed := true)
+    (fun () -> ran := true);
+  Engine.run_all cl.Cluster.engine ();
+  Alcotest.(check bool) "work refused" false !ran;
+  Alcotest.(check bool) "on_fail called" true !failed
+
+let test_failed_remaster_keeps_cooldown () =
+  let cl = mk_cluster () in
+  Cluster.add_replica cl ~part:0 ~node:2 ~on_ready:(fun () -> ());
+  Engine.run_all cl.Cluster.engine ();
+  Alcotest.(check bool) "starts" true (Cluster.try_begin_remaster cl ~part:0 ~node:1);
+  (* The target dies mid-transfer: the remaster must fail, leave the
+     primary in place and roll back the cooldown stamp. *)
+  Cluster.fail_node cl 1;
+  Engine.run_all cl.Cluster.engine ();
+  Alcotest.(check int) "primary unchanged" 0 (Placement.primary cl.Cluster.placement 0);
+  Alcotest.(check int) "not counted" 0 cl.Cluster.remaster_count;
+  Alcotest.(check bool) "cooldown not burned" true
+    (Cluster.try_begin_remaster cl ~part:0 ~node:2)
+
+let test_election_purges_dead_secondary () =
+  let cl = mk_cluster () in
+  (* Partition 1: primary node 1, secondary node 2. *)
+  Cluster.fail_node cl 1;
+  Engine.run_until cl.Cluster.engine (Engine.seconds 1.0);
+  Alcotest.(check int) "survivor promoted" 2 (Placement.primary cl.Cluster.placement 1);
+  Alcotest.(check bool) "dead node purged from secondaries" false
+    (Placement.has_secondary cl.Cluster.placement ~part:1 ~node:1);
+  for part = 0 to Cluster.partition_count cl - 1 do
+    List.iter
+      (fun n -> Alcotest.(check bool) "all secondaries live" true (Cluster.alive cl n))
+      (Placement.secondaries cl.Cluster.placement part)
+  done
+
+let test_recover_resync_charges_network () =
+  let cfg = { Config.default with Config.replicas = 1 } in
+  let cl = Cluster.create ~seed:5 cfg in
+  Cluster.fail_node cl 1;
+  let before = Lion_sim.Network.total_bytes cl.Cluster.network in
+  Cluster.recover_node cl 1;
+  Alcotest.(check bool) "resync bytes charged" true
+    (Lion_sim.Network.total_bytes cl.Cluster.network > before);
+  (* The rejoined primary pays the election delay plus the log-suffix
+     transfer before serving again. *)
+  Alcotest.(check bool) "blocked past election delay" true
+    (Cluster.partition_wait cl 1 > Config.default.Config.election_delay);
+  Engine.run_until cl.Cluster.engine (Engine.seconds 1.0);
+  Alcotest.(check (float 1e-9)) "serveable after resync" 0.0 (Cluster.partition_wait cl 1)
+
+let test_availability_tracks_failures () =
+  let cl = mk_cluster () in
+  Alcotest.(check (float 1e-9)) "healthy cluster" 1.0 (Cluster.availability cl);
+  Cluster.fail_node cl 1;
+  let degraded = Cluster.availability cl in
+  Alcotest.(check bool) "degraded on failure" true (degraded < 1.0 && degraded > 0.0);
+  Engine.run_until cl.Cluster.engine (Engine.seconds 1.0);
+  Cluster.recover_node cl 1;
+  Engine.run_until cl.Cluster.engine (Engine.seconds 2.0);
+  Alcotest.(check (float 1e-9)) "restored after recovery" 1.0 (Cluster.availability cl)
+
+let test_fault_plan_drives_cluster () =
+  let cfg =
+    {
+      Config.default with
+      Config.fault_plan =
+        Lion_sim.Fault.crash_recover ~node:1 ~at:(Engine.seconds 1.0)
+          ~downtime:(Engine.seconds 1.0);
+    }
+  in
+  let cl = Cluster.create ~seed:5 cfg in
+  Engine.run_until cl.Cluster.engine (Engine.seconds 1.5);
+  Alcotest.(check bool) "crashed by plan" false (Cluster.alive cl 1);
+  Engine.run_until cl.Cluster.engine (Engine.seconds 3.0);
+  Alcotest.(check bool) "recovered by plan" true (Cluster.alive cl 1)
+
+let prop_fault_sequence_placement_consistent =
+  QCheck.Test.make
+    ~name:"any crash/recover sequence leaves placement consistent" ~count:60
+    QCheck.(
+      list_of_size (Gen.int_range 0 12)
+        (triple bool (int_range 0 3) (float_range 0.0 20_000.0)))
+    (fun ops ->
+      let cl = Cluster.create ~seed:7 Config.default in
+      List.iter
+        (fun (fail, node, advance) ->
+          if fail then Cluster.fail_node cl node else Cluster.recover_node cl node;
+          Engine.run_until cl.Cluster.engine (Engine.now cl.Cluster.engine +. advance))
+        ops;
+      Engine.run_all cl.Cluster.engine ();
+      let ok = ref true in
+      for part = 0 to Cluster.partition_count cl - 1 do
+        (* A dead primary is only legal for a partition explicitly
+           parked as unavailable; secondaries never sit on dead nodes. *)
+        let prim = Placement.primary cl.Cluster.placement part in
+        if not (Cluster.alive cl prim) then
+          ok := !ok && Cluster.partition_wait cl part = infinity;
+        List.iter
+          (fun n -> ok := !ok && Cluster.alive cl n)
+          (Placement.secondaries cl.Cluster.placement part)
+      done;
+      !ok)
+
 let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
 
 let () =
@@ -594,4 +736,24 @@ let () =
             test_orphaned_partition_blocks_until_recovery;
           Alcotest.test_case "Lion survives failover" `Quick test_lion_survives_failover;
         ] );
+      ( "chaos",
+        [
+          Alcotest.test_case "rpc to dead node times out" `Quick
+            test_rpc_dead_node_times_out;
+          Alcotest.test_case "rpc retry succeeds after recovery" `Quick
+            test_rpc_retry_succeeds_after_recovery;
+          Alcotest.test_case "submit_local refuses dead node" `Quick
+            test_submit_local_dead_node_fails;
+          Alcotest.test_case "failed remaster keeps cooldown" `Quick
+            test_failed_remaster_keeps_cooldown;
+          Alcotest.test_case "election purges dead secondary" `Quick
+            test_election_purges_dead_secondary;
+          Alcotest.test_case "recovery resync charges network" `Quick
+            test_recover_resync_charges_network;
+          Alcotest.test_case "availability tracks failures" `Quick
+            test_availability_tracks_failures;
+          Alcotest.test_case "fault plan drives cluster" `Quick
+            test_fault_plan_drives_cluster;
+        ] );
+      qsuite "chaos-props" [ prop_fault_sequence_placement_consistent ];
     ]
