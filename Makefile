@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench chaos examples clean
+.PHONY: all build test bench chaos trace examples clean
 
 all: build
 
@@ -19,6 +19,15 @@ chaos:
 	dune exec bin/run_experiment.exe -- fault_partition 0.5
 	dune exec bin/run_experiment.exe -- fault_straggler 0.25
 
+# Slow-transaction traces (see docs/TRACING.md): Lion vs 2PC on a
+# skewed, 50%-cross workload; Chrome/Perfetto JSON lands in traces/.
+trace:
+	mkdir -p traces
+	dune exec bin/trace_txn.exe -- --proto lion --cross 0.5 --skew 0.8 \
+		--out traces/lion.json
+	dune exec bin/trace_txn.exe -- --proto 2pc --cross 0.5 --skew 0.8 \
+		--out traces/2pc.json
+
 examples:
 	dune exec examples/quickstart.exe
 	dune exec examples/planner_explain.exe
@@ -26,3 +35,4 @@ examples:
 
 clean:
 	dune clean
+	rm -rf traces

@@ -1,7 +1,36 @@
-(* CLI: run one named experiment (or "all") at a given scale. *)
+(* CLI: run one named experiment (or "all") at a given scale.
+
+   [--trace] installs a trace sink: every Runner.run inside the
+   experiment gets a tracer retaining its 5 slowest transactions; at
+   each run's end a Chrome/Perfetto trace file lands in traces/ and a
+   critical-path summary prints to stdout. *)
 let () =
-  let name = try Sys.argv.(1) with _ -> "all" in
-  let scale = try float_of_string Sys.argv.(2) with _ -> 1.0 in
+  let args = List.tl (Array.to_list Sys.argv) in
+  let trace_on = List.mem "--trace" args in
+  let args = List.filter (fun a -> a <> "--trace") args in
+  let name = match args with n :: _ -> n | [] -> "all" in
+  let scale =
+    match args with
+    | _ :: s :: _ -> ( try float_of_string s with _ -> 1.0)
+    | _ -> 1.0
+  in
+  if trace_on then (
+    (try Unix.mkdir "traces" 0o755
+     with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    let counter = ref 0 in
+    Lion_harness.Runner.set_trace_sink
+      {
+        Lion_harness.Runner.fresh =
+          (fun () ->
+            Lion_trace.Trace.create ~policy:(Lion_trace.Trace.Slowest 5) ());
+        emit =
+          (fun t ->
+            incr counter;
+            let path = Printf.sprintf "traces/run-%03d.json" !counter in
+            Lion_trace.Chrome.write ~path ~label:path
+              (Lion_trace.Trace.retained t);
+            Lion_trace.Report.print ~top:3 ~label:path t);
+      });
   if name = "all" then Lion_harness.Experiments.run_all ~scale ()
   else
     match

@@ -118,7 +118,8 @@ let create_with_planner ?name ?(seed = 31) ?(config = Planner.default_config) cl
     }
   in
   let proto =
-    Batch.create cl ~name ~process ~tick:(fun () -> Planner.tick planner) ()
+    Batch.create cl ~name ~process ~tick:(fun () -> Planner.tick planner)
+      ~stage_labels:("sequencing", "remaster-barrier") ()
   in
   (proto, planner)
 

@@ -35,6 +35,8 @@ let series_csv ~path series =
   in
   write_csv ~path ~header ~rows
 
+module Metrics = Lion_sim.Metrics
+
 let result_rows results =
   let header =
     [
@@ -42,6 +44,13 @@ let result_rows results =
       "p95_us"; "mean_latency_us"; "single_node_ratio"; "remaster_ratio"; "bytes_per_txn";
       "remasters"; "replica_adds";
     ]
+    @ List.map
+        (fun p -> "frac_" ^ Metrics.phase_name p)
+        Metrics.all_phases
+    @ [
+        "timeouts"; "retries"; "drops"; "unavail_s"; "time_to_recover_s";
+        "goodput_under_fault";
+      ]
   in
   let row (label, (r : Runner.result)) =
     [
@@ -60,6 +69,22 @@ let result_rows results =
       string_of_int r.Runner.remasters;
       string_of_int r.Runner.replica_adds;
     ]
+    @ List.map
+        (fun p ->
+          let f =
+            try List.assoc p r.Runner.phase_fractions with Not_found -> 0.0
+          in
+          Printf.sprintf "%.4f" f)
+        Metrics.all_phases
+    @ [
+        string_of_int r.Runner.timeouts;
+        string_of_int r.Runner.retries;
+        string_of_int r.Runner.drops;
+        Printf.sprintf "%.1f" r.Runner.unavail_seconds;
+        (if r.Runner.time_to_recover = infinity then "inf"
+         else Printf.sprintf "%.1f" r.Runner.time_to_recover);
+        Printf.sprintf "%.1f" r.Runner.goodput_under_fault;
+      ]
   in
   (header, List.map row results)
 

@@ -11,7 +11,11 @@ val series_csv : path:string -> (string * float array) list -> unit
     Shorter series pad with empty cells. *)
 
 val result_rows : (string * Runner.result) list -> string list * string list list
-(** Header + one summary row per labelled result (throughput, latency
-    percentiles, ratios, adaptation counters) — feed to [write_csv]. *)
+(** Header + one summary row per labelled result — feed to [write_csv].
+    Columns: throughput, latency percentiles, ratios, adaptation
+    counters, per-phase latency fractions ([frac_execution] …
+    [frac_replication]), the fault counters (timeouts, retries, drops)
+    and the availability summary (unavailable seconds, time to recover
+    — "inf" when the run ends degraded — and goodput under fault). *)
 
 val result_csv : path:string -> (string * Runner.result) list -> unit

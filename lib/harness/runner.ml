@@ -4,6 +4,15 @@ module Engine = Lion_sim.Engine
 module Network = Lion_sim.Network
 module Metrics = Lion_sim.Metrics
 module Proto = Lion_protocols.Proto
+module Trace = Lion_trace.Trace
+
+type trace_sink = { fresh : unit -> Trace.t; emit : Trace.t -> unit }
+
+(* Global sink so `--trace` on the CLI reaches every experiment without
+   threading a tracer through each figure function. *)
+let sink : trace_sink option ref = ref None
+let set_trace_sink s = sink := Some s
+let clear_trace_sink () = sink := None
 
 type config = {
   clients : int;
@@ -74,8 +83,15 @@ let fault_summary ~availability ~throughput_series =
   in
   (!unavail, time_to_recover, goodput)
 
-let run ?(seed = 1) ?(batch = false) ?(setup = fun _ -> ()) ~cfg ~make ~gen rc =
-  let cl = Cluster.create ~seed cfg in
+let run ?(seed = 1) ?(batch = false) ?(setup = fun _ -> ()) ?tracer ~cfg ~make
+    ~gen rc =
+  let sink_tracer =
+    match (tracer, !sink) with
+    | None, Some s -> Some (s.fresh ())
+    | _ -> None
+  in
+  let tracer = match tracer with Some _ -> tracer | None -> sink_tracer in
+  let cl = Cluster.create ~seed ?tracer cfg in
   setup cl;
   let proto = make cl in
   let engine = cl.Cluster.engine in
@@ -123,6 +139,9 @@ let run ?(seed = 1) ?(batch = false) ?(setup = fun _ -> ()) ~cfg ~make ~gen rc =
   let unavail_seconds, time_to_recover, goodput_under_fault =
     fault_summary ~availability ~throughput_series
   in
+  (match (sink_tracer, !sink) with
+  | Some t, Some s -> s.emit t
+  | _ -> ());
   {
     throughput = float_of_int commits /. rc.duration;
     commits;

@@ -51,10 +51,24 @@ type result = {
           degraded) *)
 }
 
+type trace_sink = {
+  fresh : unit -> Lion_trace.Trace.t;  (** one tracer per [run] call *)
+  emit : Lion_trace.Trace.t -> unit;  (** called when that run finishes *)
+}
+(** Hook wiring the CLI's [--trace] flag to every experiment without
+    threading a tracer through each figure function: when a sink is
+    installed, each [run] (that was not handed an explicit [tracer])
+    builds its cluster with [fresh ()] and hands the tracer to [emit]
+    after collecting results. *)
+
+val set_trace_sink : trace_sink -> unit
+val clear_trace_sink : unit -> unit
+
 val run :
   ?seed:int ->
   ?batch:bool ->
   ?setup:(Lion_store.Cluster.t -> unit) ->
+  ?tracer:Lion_trace.Trace.t ->
   cfg:Lion_store.Config.t ->
   make:(Lion_store.Cluster.t -> Lion_protocols.Proto.t) ->
   gen:(time:float -> Lion_workload.Txn.t) ->
@@ -64,4 +78,6 @@ val run :
     for standard protocols, one per batch slot for batch protocols.
     [setup] runs after the cluster is built and before any client
     starts — fault-injection experiments use it to schedule node
-    failures on the cluster's engine. *)
+    failures on the cluster's engine. [tracer] (default: ask the trace
+    sink, else none) enables causal transaction tracing on the cluster;
+    the caller inspects or exports it afterwards. *)

@@ -43,4 +43,5 @@ let create cl =
       phase_split = [ (Metrics.Execution, 0.65); (Metrics.Commit, 0.2); (Metrics.Replication, 0.15) ];
     }
   in
-  Batch.create cl ~name:"Aria" ~process ()
+  Batch.create cl ~name:"Aria" ~process
+    ~stage_labels:("reserve", "fallback-barrier") ()

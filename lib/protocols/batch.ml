@@ -5,6 +5,7 @@ module Engine = Lion_sim.Engine
 module Network = Lion_sim.Network
 module Metrics = Lion_sim.Metrics
 module Txn = Lion_workload.Txn
+module Trace = Lion_trace.Trace
 
 type verdict = { committed : bool; single_node : bool; remastered : bool }
 
@@ -50,6 +51,10 @@ type request = {
   enqueued : float;
   mutable retries : int;
   on_done : unit -> unit;
+  ctx : Trace.ctx option;  (* root trace context, None when untraced *)
+  mutable wait_from : float;
+      (* when this request last started waiting (enqueue or re-queue);
+         the next epoch's queue-wait span starts here *)
 }
 
 type state = {
@@ -59,11 +64,33 @@ type state = {
   buffer : request Queue.t;
   carryover : request Queue.t;  (* aborted transactions, retried first *)
   mutable running : bool;
+  stage_labels : string * string;
+      (* protocol-specific names for the sequencing and barrier stage
+         spans of traced transactions *)
 }
 
 (* Epoch commit barrier: the nodes agree to commit the epoch — a couple
    of cross-node round trips regardless of batch size. *)
 let epoch_commit_cost cl = 4.0 *. Network.oneway_delay cl.Cluster.network ~bytes:64
+
+(* Epoch processing is analytic, so a traced transaction's spans are
+   reconstructed retroactively at epoch end from the makespan's stage
+   boundaries. The stages tile [wait_from, now] exactly, so the
+   critical path of a batch trace sums to its recorded latency. *)
+let emit_stages st req ~t0 ~t1 ~t2 ~t3 ~now =
+  match req.ctx with
+  | None -> ()
+  | Some _ as ctx ->
+      let seq_label, barrier_label = st.stage_labels in
+      let stage name phase a b =
+        if b > a then
+          Trace.finish ~ts:b (Trace.child ~phase ~name ~ts:a ctx)
+      in
+      stage "queue-wait" "scheduling" req.wait_from t0;
+      stage seq_label "scheduling" t0 t1;
+      stage "execution" "execution" t1 t2;
+      stage barrier_label "remaster" t2 t3;
+      stage "epoch-commit" "commit" t3 now
 
 let scale_phases phase_split latency =
   let total = List.fold_left (fun acc (_, w) -> acc +. w) 0.0 phase_split in
@@ -97,11 +124,16 @@ let rec start_epoch st =
     let exec_time =
       Array.fold_left (fun acc busy -> Stdlib.max acc (busy /. workers)) 0.0 result.node_busy
     in
+    let epoch_start = Engine.now st.cl.Cluster.engine in
     let duration =
       result.serial_time +. exec_time +. result.barrier_time +. epoch_commit_cost st.cl
     in
     Engine.schedule st.cl.Cluster.engine ~delay:duration (fun () ->
         let now = Engine.now st.cl.Cluster.engine in
+        let t0 = epoch_start in
+        let t1 = t0 +. result.serial_time in
+        let t2 = t1 +. exec_time in
+        let t3 = t2 +. result.barrier_time in
         Array.iteri
           (fun i req ->
             let v = result.verdicts.(i) in
@@ -111,9 +143,14 @@ let rec start_epoch st =
               Metrics.record_commit st.cl.Cluster.metrics ~latency
                 ~single_node:v.single_node ~remastered:v.remastered
                 ~phases:(scale_phases result.phase_split latency);
+              emit_stages st req ~t0 ~t1 ~t2 ~t3 ~now;
+              Trace.finish_txn ~ts:now ~ok:v.committed req.ctx;
               req.on_done ())
             else (
               Metrics.record_abort st.cl.Cluster.metrics;
+              emit_stages st req ~t0 ~t1 ~t2 ~t3 ~now;
+              Trace.note_abort ~ts:now req.ctx;
+              req.wait_from <- now;
               req.retries <- req.retries + 1;
               Queue.push req st.carryover))
           requests;
@@ -130,7 +167,8 @@ let maybe_start st =
           st.running <- true;
           start_epoch st))
 
-let create cl ~name ~process ?(tick = fun () -> ()) ?(max_retries = 100) () =
+let create cl ~name ~process ?(tick = fun () -> ()) ?(max_retries = 100)
+    ?(stage_labels = ("sequencing", "barrier")) () =
   let st =
     {
       cl;
@@ -139,11 +177,18 @@ let create cl ~name ~process ?(tick = fun () -> ()) ?(max_retries = 100) () =
       buffer = Queue.create ();
       carryover = Queue.create ();
       running = false;
+      stage_labels;
     }
   in
   let submit txn ~on_done =
+    let now = Engine.now cl.Cluster.engine in
+    let ctx =
+      match cl.Cluster.tracer with
+      | None -> None
+      | Some tracer -> Trace.start_txn tracer ~ts:now ~txn_id:txn.Txn.id
+    in
     Queue.push
-      { txn; enqueued = Engine.now cl.Cluster.engine; retries = 0; on_done }
+      { txn; enqueued = now; retries = 0; on_done; ctx; wait_from = now }
       st.buffer;
     maybe_start st
   in

@@ -63,8 +63,17 @@ val create :
   process:(Lion_workload.Txn.t array -> epoch_result) ->
   ?tick:(unit -> unit) ->
   ?max_retries:int ->
+  ?stage_labels:string * string ->
   unit ->
   Proto.t
 (** [max_retries] (default 100) bounds re-queues per transaction; a
     transaction exceeding it is force-committed to keep the closed loop
-    live (real systems eventually serialize it). *)
+    live (real systems eventually serialize it).
+
+    When the cluster carries a tracer ([Cluster.tracer]), sampled
+    transactions get retroactive stage spans at each epoch end —
+    queue-wait, sequencing, execution, barrier, epoch-commit — tiling
+    the makespan, with re-queues annotated as aborts. [stage_labels]
+    (default [("sequencing", "barrier")]) names the protocol-specific
+    serial and barrier stages, e.g. Calvin's lock scheduler or Star's
+    phase-switch remaster. *)

@@ -38,4 +38,5 @@ let create cl =
       phase_split = [ (Metrics.Scheduling, 0.08); (Metrics.Execution, 0.92) ];
     }
   in
-  Batch.create cl ~name:"Calvin" ~process ()
+  Batch.create cl ~name:"Calvin" ~process
+    ~stage_labels:("lock-schedule", "barrier") ()

@@ -7,6 +7,7 @@ module Network = Lion_sim.Network
 module Metrics = Lion_sim.Metrics
 module Rng = Lion_kernel.Rng
 module Txn = Lion_workload.Txn
+module Trace = Lion_trace.Trace
 
 type flavor = {
   remaster_secondary : bool;
@@ -84,7 +85,7 @@ let record_ops session ops =
    tuples) move to the coordinator before the operation executes. *)
 let leap_migration_overhead = 200.0
 
-let attempt cl ~coordinator ~txn ~flavor ~k =
+let attempt ?ctx cl ~coordinator ~txn ~flavor ~k =
   let cfg = cl.Cluster.cfg in
   let engine = cl.Cluster.engine in
   let placement = cl.Cluster.placement in
@@ -121,18 +122,32 @@ let attempt cl ~coordinator ~txn ~flavor ~k =
             let after_exec () = step rest k_done in
             let execute_locally () =
               record_ops session ops;
+              let lctx =
+                Trace.child ~node:coordinator ~part ~phase:"execution"
+                  ~name:"exec-local" ~ts:(Engine.now engine) ctx
+              in
               Engine.schedule engine
                 ~delay:(local_work *. Cluster.work_scale cl coordinator)
-                after_exec
+                (fun () ->
+                  Trace.finish ~ts:(Engine.now engine) lctx;
+                  after_exec ())
             in
             let execute_remote () =
               remote_parts := part :: !remote_parts;
               let prim = Placement.primary placement part in
+              let rctx =
+                Trace.child ~node:prim ~part ~phase:"execution"
+                  ~name:"exec-remote" ~ts:(Engine.now engine) ctx
+              in
               Cluster.rpc cl ~src:coordinator ~dst:prim
                 ~bytes:(cfg.Config.op_msg_bytes * n_ops)
                 ~work:(local_work +. cfg.Config.msg_handle_cost)
-                ~on_fail:fail_txn
+                ~on_fail:(fun () ->
+                  Trace.finish ~ts:(Engine.now engine) rctx;
+                  fail_txn ())
+                ?ctx:rctx
                 (fun () ->
+                  Trace.finish ~ts:(Engine.now engine) rctx;
                   record_ops session ops;
                   after_exec ())
             in
@@ -154,7 +169,12 @@ let attempt cl ~coordinator ~txn ~flavor ~k =
                 if Cluster.try_begin_remaster cl ~part ~node:coordinator then (
                   used_remaster := true;
                   let t0 = Engine.now engine in
+                  let rctx =
+                    Trace.child ~node:coordinator ~part ~phase:"remaster"
+                      ~name:"remaster" ~ts:t0 ctx
+                  in
                   Engine.schedule engine ~delay:cfg.Config.remaster_delay (fun () ->
+                      Trace.finish ~ts:(Engine.now engine) rctx;
                       remaster_time := !remaster_time +. (Engine.now engine -. t0);
                       (* The transfer may not have landed (this node
                          crashed mid-flight and the cluster rolled the
@@ -180,7 +200,12 @@ let attempt cl ~coordinator ~txn ~flavor ~k =
                 Network.send cl.Cluster.network ~src:prim ~dst:coordinator ~bytes
                   (fun () -> ());
                 let t0 = Engine.now engine in
+                let mctx =
+                  Trace.child ~node:coordinator ~part ~phase:"remaster"
+                    ~name:"migrate" ~ts:t0 ctx
+                in
                 Engine.schedule engine ~delay (fun () ->
+                    Trace.finish ~ts:(Engine.now engine) mctx;
                     remaster_time := !remaster_time +. (Engine.now engine -. t0);
                     if not (Cluster.alive cl coordinator) then fail_txn ()
                     else begin
@@ -217,10 +242,16 @@ let attempt cl ~coordinator ~txn ~flavor ~k =
                    until the partition's node recovers. *)
                 Engine.schedule engine ~delay:cfg.Config.rpc_timeout (fun () ->
                     Metrics.record_timeout cl.Cluster.metrics;
+                    Trace.note ~ts:(Engine.now engine) "timeout" ctx;
                     fail_txn ())
               else (
                 let t0 = Engine.now engine in
+                let wctx =
+                  Trace.child ~part ~phase:"remaster" ~name:"part-wait" ~ts:t0
+                    ctx
+                in
                 Engine.schedule engine ~delay:wait (fun () ->
+                    Trace.finish ~ts:(Engine.now engine) wctx;
                     remaster_time := !remaster_time +. (Engine.now engine -. t0);
                     proceed ()))
             else proceed ()
@@ -241,7 +272,7 @@ let attempt cl ~coordinator ~txn ~flavor ~k =
           if remote = [] then
             if Kvstore.try_reserve session then (
               Kvstore.finalize session;
-              Cluster.replicate_commit cl ~parts:txn.Txn.parts;
+              Cluster.replicate_commit cl ?ctx txn.Txn.parts;
               finish
                 {
                   committed = true;
@@ -276,11 +307,16 @@ let attempt cl ~coordinator ~txn ~flavor ~k =
                 |> List.filter (fun n -> n <> coordinator)
             in
             let prepare_start = Engine.now engine in
+            let pctx =
+              Trace.child ~node:coordinator ~phase:"prepare" ~name:"2pc-prepare"
+                ~ts:prepare_start ctx
+            in
             let prepare_bytes = cfg.Config.op_msg_bytes + cfg.Config.record_bytes in
             let after_prepare () =
+              Trace.finish ~ts:(Engine.now engine) pctx;
               let prepare_time = Engine.now engine -. prepare_start in
               (* Participants replicate their prepare logs. *)
-              Cluster.replicate_commit cl ~parts:remote;
+              Cluster.replicate_commit cl ?ctx remote;
               if Kvstore.try_reserve session then (
                 if flavor.unified_commit then (
                   (* The unified round already carried the writes and
@@ -302,10 +338,15 @@ let attempt cl ~coordinator ~txn ~flavor ~k =
                     })
                 else
                 let commit_start = Engine.now engine in
+                let cctx =
+                  Trace.child ~node:coordinator ~phase:"commit"
+                    ~name:"2pc-commit" ~ts:commit_start ctx
+                in
                 let after_commit () =
+                  Trace.finish ~ts:(Engine.now engine) cctx;
                   let commit_time = Engine.now engine -. commit_start in
                   Kvstore.finalize session;
-                  Cluster.replicate_commit cl ~parts:txn.Txn.parts;
+                  Cluster.replicate_commit cl ?ctx txn.Txn.parts;
                   finish
                     {
                       committed = true;
@@ -332,7 +373,8 @@ let attempt cl ~coordinator ~txn ~flavor ~k =
                            exhausted commit RPC counts as delivered. *)
                         Cluster.rpc cl ~src:coordinator ~dst:node
                           ~bytes:cfg.Config.op_msg_bytes
-                          ~work:cfg.Config.msg_handle_cost ~on_fail:cb cb)
+                          ~work:cfg.Config.msg_handle_cost ~on_fail:cb
+                          ?ctx:cctx cb)
                       participants)
               else (
                 (* Validation failed: one-way aborts, no waiting. *)
@@ -355,6 +397,7 @@ let attempt cl ~coordinator ~txn ~flavor ~k =
                coordinator aborts, tells the reachable participants
                one-way, and gives the attempt up. *)
             let on_prepare_fail () =
+              Trace.finish ~ts:(Engine.now engine) pctx;
               List.iter
                 (fun node ->
                   Network.send cl.Cluster.network ~src:coordinator ~dst:node
@@ -377,32 +420,60 @@ let attempt cl ~coordinator ~txn ~flavor ~k =
             List.iter
               (fun node ->
                 Cluster.rpc cl ~src:coordinator ~dst:node ~bytes:prepare_bytes
-                  ~work:cfg.Config.msg_handle_cost ~on_fail:fail ok)
+                  ~work:cfg.Config.msg_handle_cost ~on_fail:fail ?ctx:pctx ok)
               participants))
+      in
+      let sctx =
+        Trace.child ~node:coordinator ~phase:"scheduling" ~name:"setup"
+          ~ts:(Engine.now engine) ctx
       in
       Engine.schedule engine
         ~delay:(cfg.Config.txn_setup_cost *. Cluster.work_scale cl coordinator)
-        begin_groups)
+        (fun () ->
+          Trace.finish ~ts:(Engine.now engine) sctx;
+          begin_groups ()))
 
 let run cl ~route ~flavor txn ~on_done =
   let cfg = cl.Cluster.cfg in
   let engine = cl.Cluster.engine in
   let start = Engine.now engine in
+  let octx =
+    match cl.Cluster.tracer with
+    | None -> None
+    | Some tracer -> Trace.start_txn tracer ~ts:start ~txn_id:txn.Txn.id
+  in
   let attempts = ref 0 in
   let rec go () =
     incr attempts;
     let coordinator = route txn in
-    attempt cl ~coordinator ~txn ~flavor ~k:(fun r ->
+    let actx =
+      match octx with
+      | None -> None
+      | Some _ ->
+          Trace.child ~node:coordinator ~phase:"execution"
+            ~name:(Printf.sprintf "attempt %d" !attempts)
+            ~ts:(Engine.now engine) octx
+    in
+    attempt ?ctx:actx cl ~coordinator ~txn ~flavor ~k:(fun r ->
+        Trace.finish ~ts:(Engine.now engine) actx;
         if r.committed then (
           let interval = cfg.Config.group_commit_interval in
           let wait = interval -. Float.rem (Engine.now engine) interval in
           let latency = Engine.now engine -. start +. wait in
           let phases = r.phases @ [ (Metrics.Replication, wait) ] in
+          let gctx =
+            Trace.child ~phase:"replication" ~name:"group-commit-wait"
+              ~ts:(Engine.now engine) octx
+          in
           Engine.schedule engine ~delay:wait (fun () ->
+              Trace.finish ~ts:(Engine.now engine) gctx;
               Metrics.record_commit cl.Cluster.metrics ~latency
-                ~single_node:r.single_node ~remastered:r.remastered ~phases);
+                ~single_node:r.single_node ~remastered:r.remastered ~phases;
+              Trace.finish_txn ~ts:(Engine.now engine) ~ok:true octx);
           on_done ())
         else (
+          Trace.note_abort ~ts:(Engine.now engine)
+            (match actx with Some _ -> actx | None -> octx);
           Metrics.record_abort cl.Cluster.metrics;
           let cap = Stdlib.min 8 !attempts in
           let backoff =

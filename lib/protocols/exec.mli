@@ -54,6 +54,7 @@ type result = {
 }
 
 val attempt :
+  ?ctx:Lion_trace.Trace.ctx ->
   Lion_store.Cluster.t ->
   coordinator:int ->
   txn:Lion_workload.Txn.t ->
@@ -62,7 +63,9 @@ val attempt :
   unit
 (** One execution attempt. Acquires (and always releases) a coordinator
     worker; [k] fires at worker release. On commit, the group-commit
-    visibility delay is {e not} included here — see [run]. *)
+    visibility delay is {e not} included here — see [run]. [ctx] (one
+    attempt's span of a traced transaction) nests setup, per-group
+    execution, remaster transfers and the 2PC rounds under it. *)
 
 val run :
   Lion_store.Cluster.t ->
@@ -75,4 +78,9 @@ val run :
     recording aborts and the final commit in the cluster metrics. The
     commit is recorded at the next group-commit epoch boundary with the
     full latency since first submission; [on_done] fires at coordinator
-    worker release so the closed loop stays worker-bound. *)
+    worker release so the closed loop stays worker-bound.
+
+    When the cluster carries a tracer ([Cluster.tracer]), each
+    transaction is offered to it: sampled ones get a root span, one
+    child span per attempt (aborted attempts annotated), and a
+    group-commit-wait span; the trace closes at commit visibility. *)

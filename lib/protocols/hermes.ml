@@ -87,4 +87,5 @@ let create cl =
         ];
     }
   in
-  Batch.create cl ~name:"Hermes" ~process ()
+  Batch.create cl ~name:"Hermes" ~process
+    ~stage_labels:("sequencing", "ownership-invalidation") ()

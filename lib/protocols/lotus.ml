@@ -66,4 +66,5 @@ let create ?(granule_size = 16) cl =
       phase_split = [ (Metrics.Execution, 0.7); (Metrics.Replication, 0.3) ];
     }
   in
-  Batch.create cl ~name:"Lotus" ~process ()
+  Batch.create cl ~name:"Lotus" ~process
+    ~stage_labels:("granule-lock", "barrier") ()

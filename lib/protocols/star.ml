@@ -48,4 +48,5 @@ let create cl =
         [ (Metrics.Execution, 0.55); (Metrics.Remaster, 0.1); (Metrics.Replication, 0.35) ];
     }
   in
-  Batch.create cl ~name:"Star" ~process ()
+  Batch.create cl ~name:"Star" ~process
+    ~stage_labels:("sequencing", "phase-switch-remaster") ()

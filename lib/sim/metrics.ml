@@ -87,8 +87,16 @@ let throughput t ~duration =
   if duration <= 0.0 then 0.0 else float_of_int t.commits /. (duration /. 1e6)
 
 let throughput_series t = Timeseries.to_array t.series
-let latency_percentile t p = Stats.Reservoir.percentile t.latency p
-let mean_latency t = Stats.Reservoir.mean t.latency
+(* An empty window — e.g. right after [reset_window], before any commit
+   lands — must read as 0, never NaN or an out-of-bounds access,
+   whatever the reservoir's internals do. *)
+let latency_percentile t p =
+  if Stats.Reservoir.count t.latency = 0 then 0.0
+  else Stats.Reservoir.percentile t.latency p
+
+let mean_latency t =
+  if Stats.Reservoir.count t.latency = 0 then 0.0
+  else Stats.Reservoir.mean t.latency
 
 let phase_fraction t phase =
   let total = Array.fold_left ( +. ) 0.0 t.phase_time in

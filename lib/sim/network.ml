@@ -44,10 +44,33 @@ let record_drop t =
   t.drops <- t.drops + 1;
   Option.iter Metrics.record_drop t.metrics
 
-let send t ~src ~dst ~bytes ?(on_drop = fun () -> ()) k =
+module Trace = Lion_trace.Trace
+
+let send t ~src ~dst ~bytes ?(on_drop = fun () -> ()) ?ctx k =
   if src = dst then Engine.schedule t.engine ~delay:0.0 k
   else (
     account t ~bytes;
+    (* Tracing wraps the continuations only for sampled transactions:
+       the [None] path (tracing disabled or txn unsampled) allocates
+       nothing and schedules no extra events. *)
+    let k, on_drop =
+      match ctx with
+      | None -> (k, on_drop)
+      | Some _ ->
+          let mctx =
+            Trace.child ~node:dst
+              ~name:(Printf.sprintf "msg %d->%d" src dst)
+              ~ts:(Engine.now t.engine) ctx
+          in
+          ( (fun () ->
+              Trace.finish ~ts:(Engine.now t.engine) mctx;
+              k ()),
+            fun () ->
+              let now = Engine.now t.engine in
+              Trace.note ~ts:now "drop" mctx;
+              Trace.finish ~ts:now mctx;
+              on_drop () )
+    in
     match t.fault with
     | None -> Engine.schedule t.engine ~delay:(oneway_delay t ~bytes) k
     | Some f -> (

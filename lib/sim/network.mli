@@ -24,6 +24,7 @@ val fault : t -> Fault.t option
 
 val send :
   t -> src:int -> dst:int -> bytes:int -> ?on_drop:(unit -> unit) ->
+  ?ctx:Lion_trace.Trace.ctx ->
   (unit -> unit) -> unit
 (** Deliver a message of [bytes] from [src] to [dst]; the callback runs
     at arrival time. Local sends ([src = dst]) deliver immediately
@@ -32,7 +33,13 @@ val send :
     time or while in flight), the delivery callback never runs and
     [on_drop] (default: ignore) fires instead, at the moment of loss;
     senders modelling a timeout delay it themselves. Bytes are charged
-    even for dropped messages — they left the NIC. *)
+    even for dropped messages — they left the NIC.
+
+    [ctx] (a trace context of the transaction this message serves, see
+    {!Lion_trace.Trace}) opens a child span covering the wire time and
+    annotates it on loss; [None] — the default and the
+    tracing-disabled path — costs nothing and never perturbs the
+    simulation. *)
 
 val charge : t -> bytes:int -> unit
 (** Account bytes (and one message) without scheduling a delivery event

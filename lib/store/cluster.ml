@@ -4,6 +4,7 @@ module Metrics = Lion_sim.Metrics
 module Server = Lion_sim.Server
 module Fault = Lion_sim.Fault
 module Rng = Lion_kernel.Rng
+module Trace = Lion_trace.Trace
 
 let log_src = Logs.Src.create "lion.cluster" ~doc:"Cluster replica operations"
 
@@ -20,6 +21,7 @@ type t = {
   replication : Replication.t;
   workers : Server.t array;
   services : Server.t array;
+  tracer : Trace.t option;
   rng : Rng.t;
   part_available : float array;
   part_access : float array;
@@ -260,7 +262,7 @@ let submit_local t ?(on_fail = fun () -> ()) ~node ~work k =
     Server.submit t.workers.(node) ~work:(work *. work_scale t node) k
   else on_fail ()
 
-let rpc t ?(on_fail = fun () -> ()) ~src ~dst ~bytes ~work k =
+let rpc t ?(on_fail = fun () -> ()) ?ctx ~src ~dst ~bytes ~work k =
   if src = dst then
     if t.node_alive.(dst) then
       Server.submit t.services.(dst) ~work:(work *. work_scale t dst) k
@@ -269,6 +271,17 @@ let rpc t ?(on_fail = fun () -> ()) ~src ~dst ~bytes ~work k =
     let retries = t.cfg.Config.rpc_retries in
     let rec go attempt =
       let t0 = now t in
+      (* One span per attempt; retransmissions show up as sibling spans
+         with a "retry" annotation on the one that timed out. The
+         [None] path builds no strings and allocates nothing. *)
+      let actx =
+        match ctx with
+        | None -> None
+        | Some _ ->
+            Trace.child ~node:dst
+              ~name:(Printf.sprintf "rpc %d->%d" src dst)
+              ~ts:t0 ctx
+      in
       (* The simulator is omniscient: a timeout only ever matters when
          the request or reply is actually lost, so the timer is created
          lazily at the moment of loss (healthy runs schedule no extra
@@ -278,31 +291,55 @@ let rpc t ?(on_fail = fun () -> ()) ~src ~dst ~bytes ~work k =
         Engine.schedule t.engine ~delay:remaining (fun () ->
             if attempt >= retries then (
               Metrics.record_timeout t.metrics;
+              Trace.note ~ts:(now t) "timeout" actx;
+              Trace.finish ~ts:(now t) actx;
               on_fail ())
             else (
               Metrics.record_retry t.metrics;
+              Trace.note ~ts:(now t) "retry" actx;
+              Trace.finish ~ts:(now t) actx;
               let backoff =
                 t.cfg.Config.rpc_backoff *. float_of_int (1 lsl attempt)
               in
               Engine.schedule t.engine ~delay:backoff (fun () -> go (attempt + 1))))
       in
-      Network.send t.network ~src ~dst ~bytes ~on_drop:fail_after_timeout (fun () ->
+      Network.send t.network ~src ~dst ~bytes ~on_drop:fail_after_timeout
+        ?ctx:actx (fun () ->
+          let sctx =
+            match actx with
+            | None -> None
+            | Some _ -> Trace.child ~name:"service" ~ts:(now t) actx
+          in
           Server.submit t.services.(dst) ~work:(work *. work_scale t dst) (fun () ->
+              Trace.finish ~ts:(now t) sctx;
               Network.send t.network ~src:dst ~dst:src ~bytes
-                ~on_drop:fail_after_timeout k))
+                ~on_drop:fail_after_timeout ?ctx:actx (fun () ->
+                  Trace.finish ~ts:(now t) actx;
+                  k ())))
     in
     go 0
 
 let acquire_worker t ~node k = Server.acquire t.workers.(node) k
 let release_worker t ~node lease = Server.release t.workers.(node) lease
 
-let replicate_commit t ~parts =
+let replicate_commit t ?ctx parts =
   List.iter
     (fun p ->
       Replication.append t.replication ~part:p;
       let src = Placement.primary t.placement p in
       List.iter
         (fun dst ->
+          (* The asynchronous log ship gets its own span (phase
+             "replication"): it usually outlives the transaction, so it
+             shows up in the exported trace as the async tail but is
+             never blamed on the critical path. *)
+          let rctx =
+            match ctx with
+            | None -> None
+            | Some _ ->
+                Trace.child ~node:dst ~part:p ~phase:"replication"
+                  ~name:"log-ship" ~ts:(now t) ctx
+          in
           (* Log shipping retries on loss like an RPC, but needs no
              reply: the group-commit stream is idempotent, so the only
              cost of a loss is the retransmission. *)
@@ -311,19 +348,23 @@ let replicate_commit t ~parts =
               ~on_drop:(fun () ->
                 if attempt < t.cfg.Config.rpc_retries then (
                   Metrics.record_retry t.metrics;
+                  Trace.note ~ts:(now t) "retry" rctx;
                   let backoff =
                     t.cfg.Config.rpc_backoff *. float_of_int (1 lsl attempt)
                   in
                   Engine.schedule t.engine ~delay:backoff (fun () ->
                       ship (attempt + 1)))
-                else Metrics.record_timeout t.metrics)
-              (fun () -> ())
+                else (
+                  Metrics.record_timeout t.metrics;
+                  Trace.note ~ts:(now t) "timeout" rctx;
+                  Trace.finish ~ts:(now t) rctx))
+              (fun () -> Trace.finish ~ts:(now t) rctx)
           in
           ship 0)
         (Placement.secondaries t.placement p))
     parts
 
-let create ?(seed = 1) cfg =
+let create ?(seed = 1) ?tracer cfg =
   let engine = Engine.create () in
   let metrics = Metrics.create ~seed engine in
   let fault = Fault.create ~seed ~nodes:cfg.Config.nodes cfg.Config.fault_plan in
@@ -350,6 +391,7 @@ let create ?(seed = 1) cfg =
         Array.init cfg.Config.nodes (fun _ ->
             Server.create engine ~capacity:cfg.Config.workers_per_node);
       services = Array.init cfg.Config.nodes (fun _ -> Server.create engine ~capacity:2);
+      tracer;
       rng = Rng.create seed;
       part_available = Array.make parts 0.0;
       part_access = Array.make parts 0.0;

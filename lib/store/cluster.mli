@@ -23,6 +23,10 @@ type t = {
           sub-operations — separate from workers, as in the paper's
           thread model, so coordinators holding workers cannot deadlock
           with the remote work they wait on *)
+  tracer : Lion_trace.Trace.t option;
+      (** causal transaction tracer; [None] (the default) disables
+          tracing entirely — protocols then thread [None] contexts and
+          every instrumentation point is a no-op *)
   rng : Lion_kernel.Rng.t;
   part_available : float array;
       (** per-partition time before which operations block (remaster
@@ -41,7 +45,7 @@ type t = {
           back to 2PC) *)
 }
 
-val create : ?seed:int -> Config.t -> t
+val create : ?seed:int -> ?tracer:Lion_trace.Trace.t -> Config.t -> t
 
 val now : t -> float
 val node_count : t -> int
@@ -142,6 +146,7 @@ val submit_local :
 val rpc :
   t ->
   ?on_fail:(unit -> unit) ->
+  ?ctx:Lion_trace.Trace.ctx ->
   src:int -> dst:int -> bytes:int -> work:float -> (unit -> unit) -> unit
 (** Round trip: request message, [work] µs of service on [dst]'s
     messenger pool (stretched by [dst]'s [work_scale]), reply message;
@@ -154,7 +159,11 @@ val rpc :
     fires [on_fail] (default: ignore). A retransmission may re-execute
     [work] on [dst] — modelled services are idempotent. Timers are
     created lazily at the moment of loss, so healthy runs schedule no
-    extra events and stay bit-for-bit deterministic. *)
+    extra events and stay bit-for-bit deterministic.
+
+    [ctx] traces the call: one child span per attempt (wire, remote
+    service time and reply each nested under it), with "retry" /
+    "timeout" annotations — see {!Lion_trace.Trace}. *)
 
 val acquire_worker : t -> node:int -> (Lion_sim.Server.lease -> unit) -> unit
 (** Hold one of [node]'s workers (a transaction coordinator's thread)
@@ -162,9 +171,10 @@ val acquire_worker : t -> node:int -> (Lion_sim.Server.lease -> unit) -> unit
 
 val release_worker : t -> node:int -> Lion_sim.Server.lease -> unit
 
-val replicate_commit : t -> parts:int list -> unit
-(** Charge asynchronous replication traffic for a commit touching
-    [parts]: one log record per secondary replica. Group-commit batching
+val replicate_commit : t -> ?ctx:Lion_trace.Trace.ctx -> int list -> unit
+(** [replicate_commit t parts] charges asynchronous replication traffic
+    for a commit touching [parts]: one log record per secondary replica. Group-commit batching
     is modelled by the per-byte cost only (no blocking). Lost log
     records are retransmitted with the RPC backoff schedule (the stream
-    is idempotent); exhausting the retries records a timeout. *)
+    is idempotent); exhausting the retries records a timeout. [ctx]
+    traces each log ship as an async "replication" span. *)

@@ -1,0 +1,23 @@
+(** Chrome [trace_event] JSON export.
+
+    Produces the legacy JSON trace format that both
+    [chrome://tracing] and {{:https://ui.perfetto.dev}Perfetto}
+    load directly: one complete ("ph":"X") event per span, instant
+    ("ph":"i") events for span annotations (retries, timeouts, drops,
+    aborts), and process-name metadata so tracks group by node.
+    Timestamps are engine µs verbatim.
+
+    Track mapping: pid = node + 1 (pid 0 is the "clients" track for
+    client-side / cluster-wide spans), tid = trace id — each traced
+    transaction gets its own row within each node it touched.
+
+    Output is deterministic: traces ordered by trace id, spans by span
+    id, fixed float formatting — the same run produces a byte-identical
+    file. *)
+
+val to_json : ?label:string -> Trace.trace list -> string
+(** The full JSON document. [label] is stored as trace-level metadata
+    (shown by Perfetto in the process list). *)
+
+val write : path:string -> ?label:string -> Trace.trace list -> unit
+(** [to_json] straight to a file. *)

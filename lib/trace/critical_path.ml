@@ -1,0 +1,83 @@
+type segment = { span : Trace.span; from_ts : float; until_ts : float }
+
+(* Backwards walk: to explain [lo, hi] of span [s], find the child that
+   finished last within the window — that completion gated [s] — blame
+   [child.end .. hi] on [s] itself (it ran alone there), recurse into
+   the child for its own interval, and continue left of the child's
+   start. Children still open, ending outside the window, or
+   zero-length can never be the gating step. The result partitions
+   [lo, hi] exactly. *)
+let segments data =
+  let spans = Trace.spans_in_order data in
+  let n = Array.length spans in
+  if n = 0 then []
+  else (
+    let children = Array.make n [] in
+    for i = n - 1 downto 1 do
+      let p = spans.(i).Trace.parent in
+      if p >= 0 && p < n then children.(p) <- i :: children.(p)
+    done;
+    let acc = ref [] in
+    let rec walk (s : Trace.span) ~lo ~hi =
+      if hi > lo then (
+        let best = ref None in
+        List.iter
+          (fun ci ->
+            let c = spans.(ci) in
+            if
+              (not (Trace.is_open c))
+              && c.Trace.end_ts <= hi
+              && c.Trace.end_ts > lo
+              && c.Trace.start_ts < c.Trace.end_ts
+            then
+              match !best with
+              | None -> best := Some c
+              | Some b ->
+                  if
+                    c.Trace.end_ts > b.Trace.end_ts
+                    || (c.Trace.end_ts = b.Trace.end_ts && c.Trace.id > b.Trace.id)
+                  then best := Some c)
+          children.(s.Trace.id);
+        match !best with
+        | None -> acc := { span = s; from_ts = lo; until_ts = hi } :: !acc
+        | Some c ->
+            let c_hi = c.Trace.end_ts in
+            let c_lo = Stdlib.max lo c.Trace.start_ts in
+            if hi > c_hi then
+              acc := { span = s; from_ts = c_hi; until_ts = hi } :: !acc;
+            walk c ~lo:c_lo ~hi:c_hi;
+            walk s ~lo ~hi:c_lo)
+    in
+    let root = spans.(0) in
+    let root_end =
+      if Trace.is_open root then root.Trace.start_ts else root.Trace.end_ts
+    in
+    walk root ~lo:root.Trace.start_ts ~hi:root_end;
+    List.sort (fun a b -> compare a.from_ts b.from_ts) !acc)
+
+let phase_totals data =
+  let tbl = Hashtbl.create 8 in
+  let order = ref [] in
+  List.iter
+    (fun seg ->
+      let p = seg.span.Trace.phase in
+      let d = seg.until_ts -. seg.from_ts in
+      match Hashtbl.find_opt tbl p with
+      | Some acc -> Hashtbl.replace tbl p (acc +. d)
+      | None ->
+          Hashtbl.add tbl p d;
+          order := p :: !order)
+    (segments data);
+  List.rev !order
+  |> List.map (fun p -> (p, Hashtbl.find tbl p))
+  |> List.stable_sort (fun (_, a) (_, b) -> compare b a)
+
+let path_spans data =
+  let segs = segments data in
+  List.rev
+    (List.fold_left
+       (fun acc seg ->
+         match acc with
+         | prev :: _ when prev.Trace.id = seg.span.Trace.id -> acc
+         | _ -> seg.span :: acc)
+       [] segs)

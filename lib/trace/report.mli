@@ -1,0 +1,19 @@
+(** Top-K slow-transaction report with per-phase critical-path blame.
+
+    Renders, for the slowest retained traces of a tracer, where each
+    transaction's latency went: total duration, abort count, and the
+    critical-path attribution per phase ({!Critical_path}), plus the
+    chain of gating spans. The per-phase blame of each trace sums to
+    its recorded latency — the report is the textual companion of the
+    Chrome/Perfetto export. *)
+
+val top_slowest : ?k:int -> Trace.t -> Trace.trace list
+(** The [k] (default 10) slowest retained traces, slowest first;
+    deterministic tie-break on trace id. *)
+
+val pp_trace : Format.formatter -> Trace.trace -> unit
+(** One trace: header, phase blame table, critical-path chain. *)
+
+val print : ?top:int -> ?label:string -> Trace.t -> unit
+(** Print the tracer summary (sampled/finished counts, policy) and the
+    [top] (default 5) slowest traces to stdout. *)

@@ -68,7 +68,53 @@ let test_series_csv_shape () =
 let test_result_rows_header_matches_rows () =
   let header, rows = Export.result_rows [] in
   Alcotest.(check bool) "header non-empty" true (header <> []);
+  List.iter
+    (fun col ->
+      Alcotest.(check bool) (col ^ " column present") true (List.mem col header))
+    [
+      "frac_execution"; "frac_prepare"; "frac_commit"; "frac_remaster";
+      "frac_scheduling"; "frac_replication"; "timeouts"; "retries"; "drops";
+      "unavail_s"; "time_to_recover_s"; "goodput_under_fault";
+    ];
   Alcotest.(check int) "no rows for empty" 0 (List.length rows)
+
+let test_result_rows_width () =
+  let r =
+    {
+      Lion_harness.Runner.throughput = 1.0;
+      commits = 1;
+      aborts = 0;
+      p50 = 1.0;
+      p75 = 1.0;
+      p90 = 1.0;
+      p95 = 1.0;
+      mean_latency = 1.0;
+      single_node_ratio = 1.0;
+      remaster_ratio = 0.0;
+      throughput_series = [||];
+      bytes_series = [||];
+      bytes_per_txn = 0.0;
+      phase_fractions = [ (Lion_sim.Metrics.Execution, 1.0) ];
+      remasters = 0;
+      replica_adds = 0;
+      timeouts = 0;
+      retries = 0;
+      drops = 0;
+      availability = [||];
+      unavail_seconds = 0.0;
+      time_to_recover = infinity;
+      goodput_under_fault = 0.0;
+    }
+  in
+  let header, rows = Export.result_rows [ ("x", r) ] in
+  match rows with
+  | [ row ] ->
+      Alcotest.(check int) "row width matches header" (List.length header)
+        (List.length row);
+      (* A run that ends degraded exports time_to_recover as "inf", not
+         a float-formatted infinity. *)
+      Alcotest.(check bool) "inf cell" true (List.mem "inf" row)
+  | _ -> Alcotest.fail "expected one row"
 
 let () =
   Alcotest.run "lion_harness"
@@ -85,5 +131,6 @@ let () =
           Alcotest.test_case "csv escaping" `Quick test_csv_escaping;
           Alcotest.test_case "series shape" `Quick test_series_csv_shape;
           Alcotest.test_case "result rows" `Quick test_result_rows_header_matches_rows;
+          Alcotest.test_case "result row width" `Quick test_result_rows_width;
         ] );
     ]

@@ -399,6 +399,24 @@ let test_metrics_reset_window () =
   Alcotest.(check int) "retries cleared" 0 (Metrics.retries m);
   Alcotest.(check int) "drops cleared" 0 (Metrics.drops m)
 
+(* An empty latency window — a fresh metrics object, or right after
+   [reset_window] before any commit lands — must read as 0 from the
+   percentile and mean accessors, never NaN or an exception. *)
+let test_metrics_empty_window_no_nan () =
+  let e = Engine.create () in
+  let m = Metrics.create e in
+  Alcotest.(check (float 0.0)) "p50 fresh" 0.0 (Metrics.latency_percentile m 50.0);
+  Alcotest.(check (float 0.0)) "mean fresh" 0.0 (Metrics.mean_latency m);
+  Metrics.record_commit m ~latency:42.0 ~single_node:true ~remastered:false
+    ~phases:[];
+  Metrics.reset_window m;
+  let p99 = Metrics.latency_percentile m 99.0 in
+  let mean = Metrics.mean_latency m in
+  Alcotest.(check bool) "no NaN after reset" false
+    (Float.is_nan p99 || Float.is_nan mean);
+  Alcotest.(check (float 0.0)) "p99 after reset" 0.0 p99;
+  Alcotest.(check (float 0.0)) "mean after reset" 0.0 mean
+
 let test_metrics_fault_counters () =
   let e = Engine.create () in
   let m = Metrics.create e in
@@ -522,6 +540,8 @@ let () =
           Alcotest.test_case "phase fractions" `Quick test_metrics_phase_fractions;
           Alcotest.test_case "series bucketing" `Quick test_metrics_series_buckets_by_time;
           Alcotest.test_case "reset window" `Quick test_metrics_reset_window;
+          Alcotest.test_case "empty window reads 0" `Quick
+            test_metrics_empty_window_no_nan;
           Alcotest.test_case "fault counters" `Quick test_metrics_fault_counters;
           Alcotest.test_case "availability series" `Quick test_metrics_availability_series;
           Alcotest.test_case "percentiles" `Quick test_metrics_percentiles;

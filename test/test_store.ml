@@ -349,7 +349,7 @@ let test_rpc_consumes_remote_service () =
 
 let test_replicate_commit_charges_bytes () =
   let cl = mk_cluster () in
-  Cluster.replicate_commit cl ~parts:[ 0; 1 ];
+  Cluster.replicate_commit cl [ 0; 1 ];
   Alcotest.(check bool) "bytes charged" true
     (Lion_sim.Network.total_bytes cl.Cluster.network > 0)
 
@@ -423,7 +423,7 @@ let test_replication_lag_window () =
 
 let test_commit_feeds_replication_log () =
   let cl = mk_cluster () in
-  Cluster.replicate_commit cl ~parts:[ 3; 7 ];
+  Cluster.replicate_commit cl [ 3; 7 ];
   Alcotest.(check int) "log grew" 1 (Replication.appends cl.Cluster.replication ~part:3);
   Alcotest.(check int) "both partitions" 1 (Replication.appends cl.Cluster.replication ~part:7)
 
@@ -432,7 +432,7 @@ let test_remaster_bytes_scale_with_lag () =
   let bytes_before = Lion_sim.Network.total_bytes cl.Cluster.network in
   (* Build up lag on partition 0, then remaster it. *)
   for _ = 1 to 100 do
-    Cluster.replicate_commit cl ~parts:[ 0 ]
+    Cluster.replicate_commit cl [ 0 ]
   done;
   let after_replication = Lion_sim.Network.total_bytes cl.Cluster.network in
   let target = Placement.secondaries cl.Cluster.placement 0 |> List.hd in

@@ -1,0 +1,179 @@
+(* Tests for the causal tracing subsystem: sampling/retention policies,
+   the critical-path invariant (per-phase blame sums to the recorded
+   latency), byte-identical Chrome export across identical runs, and
+   no perturbation of simulation results when a tracer is attached. *)
+
+module Config = Lion_store.Config
+module Runner = Lion_harness.Runner
+module Workloads = Lion_harness.Workloads
+module Trace = Lion_trace.Trace
+module Critical_path = Lion_trace.Critical_path
+module Chrome = Lion_trace.Chrome
+
+(* ---------------- sampling / retention policies ---------------- *)
+
+let finish_one t ~txn_id ~dur ~aborts =
+  match Trace.start_txn t ~ts:0.0 ~txn_id with
+  | None -> ()
+  | Some _ as ctx ->
+      for _ = 1 to aborts do
+        Trace.note_abort ~ts:1.0 ctx
+      done;
+      Trace.finish_txn ~ts:dur ~ok:true ctx
+
+let test_policy_every () =
+  let t = Trace.create ~policy:(Trace.Every 3) () in
+  for i = 0 to 8 do
+    finish_one t ~txn_id:i ~dur:10.0 ~aborts:0
+  done;
+  Alcotest.(check int) "started" 9 (Trace.started t);
+  Alcotest.(check int) "every 3rd sampled" 3 (Trace.sampled t);
+  Alcotest.(check int) "all sampled kept" 3 (List.length (Trace.retained t))
+
+let test_policy_slowest () =
+  let t = Trace.create ~policy:(Trace.Slowest 2) () in
+  List.iteri
+    (fun i d -> finish_one t ~txn_id:i ~dur:d ~aborts:0)
+    [ 5.0; 50.0; 1.0; 30.0 ];
+  let durs =
+    List.map (fun (tr : Trace.trace) -> tr.Trace.duration) (Trace.retained t)
+    |> List.sort compare
+  in
+  Alcotest.(check (list (float 0.0))) "two slowest kept" [ 30.0; 50.0 ] durs
+
+let test_policy_on_abort () =
+  let t = Trace.create ~policy:Trace.On_abort () in
+  finish_one t ~txn_id:0 ~dur:10.0 ~aborts:0;
+  finish_one t ~txn_id:1 ~dur:10.0 ~aborts:2;
+  match Trace.retained t with
+  | [ tr ] ->
+      Alcotest.(check int) "the aborted txn" 1 tr.Trace.txn_id;
+      Alcotest.(check int) "abort count" 2 tr.Trace.aborts
+  | kept -> Alcotest.failf "expected 1 kept trace, got %d" (List.length kept)
+
+let test_span_cap () =
+  let t = Trace.create ~policy:Trace.All ~span_cap:3 () in
+  let ctx = Trace.start_txn t ~ts:0.0 ~txn_id:0 in
+  let c1 = Trace.child ~name:"a" ~ts:1.0 ctx in
+  let c2 = Trace.child ~name:"b" ~ts:2.0 ctx in
+  let c3 = Trace.child ~name:"c" ~ts:3.0 ctx in
+  Alcotest.(check bool) "below cap" true (c1 <> None && c2 <> None);
+  Alcotest.(check bool) "capped" true (c3 = None);
+  Trace.finish_txn ~ts:10.0 ~ok:true ctx
+
+(* ---------------- critical path on a hand-built trace ---------------- *)
+
+let test_critical_path_hand_built () =
+  let t = Trace.create ~policy:Trace.All () in
+  let root = Trace.start_txn t ~ts:0.0 ~txn_id:7 in
+  (* Two sequential children: A [10,20], B [25,40]. Walking backwards
+     from 50, B gates [25,40], A gates [10,20], the root owns the gaps
+     [0,10], [20,25] and [40,50]. *)
+  let a = Trace.child ~phase:"execution" ~name:"A" ~ts:10.0 root in
+  Trace.finish ~ts:20.0 a;
+  let b = Trace.child ~phase:"prepare" ~name:"B" ~ts:25.0 root in
+  Trace.finish ~ts:40.0 b;
+  Trace.finish_txn ~ts:50.0 ~ok:true root;
+  let tr = List.hd (Trace.retained t) in
+  let segs = Critical_path.segments tr in
+  let sum =
+    List.fold_left
+      (fun acc (s : Critical_path.segment) ->
+        Alcotest.(check bool) "segment well-formed" true
+          (s.Critical_path.until_ts >= s.Critical_path.from_ts);
+        acc +. (s.Critical_path.until_ts -. s.Critical_path.from_ts))
+      0.0 segs
+  in
+  Alcotest.(check (float 1e-9)) "segments partition the root" 50.0 sum;
+  let totals = Critical_path.phase_totals tr in
+  let blame p = try List.assoc p totals with Not_found -> 0.0 in
+  Alcotest.(check (float 1e-9)) "B's window" 15.0 (blame "prepare");
+  Alcotest.(check (float 1e-9)) "A's window" 10.0 (blame "execution");
+  Alcotest.(check (float 1e-9)) "root gaps" 25.0 (blame "scheduling")
+
+(* ---------------- end-to-end runs ---------------- *)
+
+let small_rc = { Runner.quick with clients = 8; warmup = 0.2; duration = 0.3 }
+
+let run_2pc ?tracer ~seed () =
+  let cfg = Config.default in
+  Runner.run ~seed ?tracer ~cfg
+    ~make:(fun cl -> Lion_protocols.Twopc.create cl)
+    ~gen:(Workloads.ycsb ~seed ~cross:0.5 cfg)
+    small_rc
+
+let check_sums tracer =
+  let traces = Trace.retained tracer in
+  Alcotest.(check bool) "retained some traces" true (traces <> []);
+  List.iter
+    (fun (tr : Trace.trace) ->
+      let sum =
+        List.fold_left
+          (fun acc (_, d) -> acc +. d)
+          0.0
+          (Critical_path.phase_totals tr)
+      in
+      Alcotest.(check (float 0.1)) "critical path sums to latency"
+        tr.Trace.duration sum)
+    traces
+
+let test_sum_standard () =
+  let tracer = Trace.create ~policy:(Trace.Slowest 5) () in
+  let _ = run_2pc ~tracer ~seed:11 () in
+  check_sums tracer
+
+let test_sum_batch () =
+  let cfg = Config.default in
+  let tracer = Trace.create ~policy:(Trace.Slowest 5) () in
+  let _ =
+    Runner.run ~seed:11 ~batch:true ~tracer ~cfg
+      ~make:(fun cl -> Lion_protocols.Calvin.create cl)
+      ~gen:(Workloads.ycsb ~seed:11 ~cross:0.5 cfg)
+      { small_rc with clients = 32; duration = 0.5 }
+  in
+  check_sums tracer
+
+let test_deterministic_export () =
+  let json () =
+    let tracer = Trace.create ~policy:(Trace.Slowest 3) () in
+    let _ = run_2pc ~tracer ~seed:7 () in
+    Chrome.to_json ~label:"det" (Trace.retained tracer)
+  in
+  let a = json () and b = json () in
+  Alcotest.(check bool) "export non-trivial" true (String.length a > 100);
+  Alcotest.(check string) "byte-identical across runs" a b
+
+let test_tracer_no_perturbation () =
+  let a = run_2pc ~seed:3 () in
+  let b = run_2pc ~tracer:(Trace.create ~policy:Trace.All ()) ~seed:3 () in
+  Alcotest.(check int) "commits" a.Runner.commits b.Runner.commits;
+  Alcotest.(check int) "aborts" a.Runner.aborts b.Runner.aborts;
+  Alcotest.(check (float 0.0)) "p95" a.Runner.p95 b.Runner.p95;
+  Alcotest.(check (float 0.0)) "mean latency" a.Runner.mean_latency
+    b.Runner.mean_latency
+
+let () =
+  Alcotest.run "lion_trace"
+    [
+      ( "policy",
+        [
+          Alcotest.test_case "every nth" `Quick test_policy_every;
+          Alcotest.test_case "slowest k" `Quick test_policy_slowest;
+          Alcotest.test_case "on abort" `Quick test_policy_on_abort;
+          Alcotest.test_case "span cap" `Quick test_span_cap;
+        ] );
+      ( "critical path",
+        [
+          Alcotest.test_case "hand-built walk" `Quick
+            test_critical_path_hand_built;
+          Alcotest.test_case "sums to latency (2PC)" `Quick test_sum_standard;
+          Alcotest.test_case "sums to latency (batch)" `Quick test_sum_batch;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "byte-identical export" `Quick
+            test_deterministic_export;
+          Alcotest.test_case "tracer does not perturb" `Quick
+            test_tracer_no_perturbation;
+        ] );
+    ]
