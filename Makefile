@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench chaos trace examples clean
+.PHONY: all build test bench chaos audit trace examples clean
 
 all: build
 
@@ -18,6 +18,13 @@ chaos:
 	dune exec bin/run_experiment.exe -- fault_crash_sweep 0.5
 	dune exec bin/run_experiment.exe -- fault_partition 0.5
 	dune exec bin/run_experiment.exe -- fault_straggler 0.25
+
+# Jepsen-style consistency audit (see docs/CONSISTENCY.md): every
+# protocol under a crash, then Lion under every nemesis. Exits
+# non-zero on any serializability anomaly or diverged replica.
+audit:
+	dune exec bin/audit_run.exe -- --proto all --nemesis crash --seconds 2
+	dune exec bin/audit_run.exe -- --proto lion --nemesis all --seconds 2
 
 # Slow-transaction traces (see docs/TRACING.md): Lion vs 2PC on a
 # skewed, 50%-cross workload; Chrome/Perfetto JSON lands in traces/.

@@ -1,0 +1,149 @@
+(* Jepsen-style consistency audit driver: run workload x protocol x
+   nemesis, record the transaction history, and check it offline for
+   serializability anomalies and replica divergence at quiescence.
+
+     dune exec bin/audit_run.exe -- --proto lion --nemesis partition
+     dune exec bin/audit_run.exe -- --proto all --nemesis all --seed 7
+
+   Exits non-zero if any combination produces an anomaly or a diverged
+   replica, so it slots directly into CI. *)
+
+module Config = Lion_store.Config
+module Workloads = Lion_harness.Workloads
+module Nemesis = Lion_audit.Nemesis
+module Drive = Lion_audit.Drive
+module Checker = Lion_audit.Checker
+module Divergence = Lion_audit.Divergence
+
+let protocols :
+    (string * (Lion_store.Cluster.t -> Lion_protocols.Proto.t)) list =
+  [
+    ("2pc", fun cl -> Lion_protocols.Twopc.create cl);
+    ("leap", fun cl -> Lion_protocols.Leap.create cl);
+    ("clay", fun cl -> Lion_protocols.Clay.create cl);
+    ( "lion",
+      fun cl ->
+        Lion_core.Standard.create ~name:"Lion"
+          ~config:{ Lion_core.Planner.default_config with predict = true }
+          cl );
+    ("star", fun cl -> Lion_protocols.Star.create cl);
+    ("calvin", fun cl -> Lion_protocols.Calvin.create cl);
+    ("hermes", fun cl -> Lion_protocols.Hermes.create cl);
+    ("aria", fun cl -> Lion_protocols.Aria.create cl);
+    ("lotus", fun cl -> Lion_protocols.Lotus.create cl);
+    ( "lion-batch",
+      fun cl ->
+        Lion_core.Batch_mode.create ~name:"Lion"
+          ~config:{ Lion_core.Planner.default_config with predict = true }
+          cl );
+  ]
+
+let nemeses ~nodes ~seed :
+    (string * Nemesis.t) list =
+  [
+    ("calm", Nemesis.calm);
+    ("crash", Nemesis.crash ~node:1 ~downtime:1_000_000.0 ());
+    ( "partition",
+      Nemesis.partition_primary_from_majority ~node:0 ~duration:800_000.0
+        ~nodes () );
+    ("straggler", Nemesis.straggler_on_coordinator ~node:0 ~duration:1_500_000.0 ());
+    ("lossy", Nemesis.lossy ~prob:0.2 ~duration:1_000_000.0 ());
+    ("crash-remaster", Nemesis.crash_during_remaster ~node:1 ~downtime:500_000.0 ());
+    ( "rolling",
+      Nemesis.rename "rolling"
+        (Nemesis.stagger ~gap:700_000.0
+           [
+             Nemesis.crash ~node:1 ~downtime:500_000.0 ();
+             Nemesis.crash ~node:2 ~downtime:500_000.0 ();
+           ]) );
+    ("adversarial", Nemesis.adversarial ~seed ~nodes ~events:5 ~window:2_500_000.0 ());
+  ]
+
+let usage ~nodes () =
+  Printf.eprintf
+    "usage: audit_run [--proto NAME|all] [--nemesis NAME|all] [--seed N]\n\
+    \                 [--seconds F] [--clients N] [--cross F] [--skew F] [-v]\n\
+     protocols: all, %s\n\
+     nemeses: all, %s\n"
+    (String.concat ", " (List.map fst protocols))
+    (String.concat ", " (List.map fst (nemeses ~nodes ~seed:1)));
+  exit 2
+
+let () =
+  let proto = ref "lion" in
+  let nemesis = ref "crash" in
+  let seed = ref 1 in
+  let seconds = ref 4.0 in
+  let clients = ref 8 in
+  let cross = ref 0.4 in
+  let skew = ref 0.6 in
+  let verbose = ref false in
+  let cfg = Config.default in
+  let nodes = cfg.Config.nodes in
+  let rec parse = function
+    | [] -> ()
+    | "--proto" :: v :: rest ->
+        proto := v;
+        parse rest
+    | "--nemesis" :: v :: rest ->
+        nemesis := v;
+        parse rest
+    | "--seed" :: v :: rest ->
+        seed := int_of_string v;
+        parse rest
+    | "--seconds" :: v :: rest ->
+        seconds := float_of_string v;
+        parse rest
+    | "--clients" :: v :: rest ->
+        clients := int_of_string v;
+        parse rest
+    | "--cross" :: v :: rest ->
+        cross := float_of_string v;
+        parse rest
+    | "--skew" :: v :: rest ->
+        skew := float_of_string v;
+        parse rest
+    | "-v" :: rest | "--verbose" :: rest ->
+        verbose := true;
+        parse rest
+    | _ -> usage ~nodes ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let pick all sel =
+    if sel = "all" then all
+    else
+      match List.find_opt (fun (n, _) -> n = sel) all with
+      | Some p -> [ p ]
+      | None -> usage ~nodes ()
+  in
+  let protos = pick protocols !proto in
+  let nems = pick (nemeses ~nodes ~seed:!seed) !nemesis in
+  let failures = ref 0 in
+  Printf.printf "%-10s  %-16s  %7s  %6s  %9s  %7s  %6s  %s\n" "protocol"
+    "nemesis" "commits" "aborts" "anomalies" "behind" "avail" "verdict";
+  List.iter
+    (fun (pname, make) ->
+      List.iter
+        (fun (nname, nem) ->
+          let o =
+            Drive.run ~seed:!seed ~clients:!clients ~duration:!seconds ~cfg
+              ~make
+              ~gen:(Workloads.ycsb ~seed:!seed ~skew:!skew ~cross:!cross cfg)
+              ~nemesis:nem ()
+          in
+          let ok = Drive.passed o in
+          if not ok then incr failures;
+          Printf.printf "%-10s  %-16s  %7d  %6d  %9d  %7d  %6.3f  %s\n" pname
+            nname o.Drive.commits o.Drive.aborts
+            (List.length o.Drive.check.Checker.anomalies)
+            (List.length o.Drive.divergence.Divergence.findings)
+            o.Drive.min_availability
+            (if ok then "PASS" else "FAIL");
+          if !verbose || not ok then
+            Format.printf "%a@." Drive.pp_outcome o)
+        nems)
+    protos;
+  if !failures > 0 then (
+    Printf.printf "%d combination(s) FAILED\n" !failures;
+    exit 1)
+  else Printf.printf "all combinations passed\n"

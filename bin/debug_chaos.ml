@@ -4,22 +4,49 @@
    recovery.
 
    Usage: dune exec bin/debug_chaos.exe -- [crashed] [fail_s] [recover_s] [total_s]
+                                           [--min-availability F] [--max-anomalies N]
    where [crashed] is how many nodes (1, 2, ...) crash at [fail_s]
-   (nodes 1..crashed) and rejoin at [recover_s]. *)
+   (nodes 1..crashed) and rejoin at [recover_s].
+
+   The threshold flags turn the tool into a CI gate: the run records a
+   consistency-audit history, and the exit status is non-zero if the
+   serializability checker reports more than [--max-anomalies]
+   (default: disabled) or any availability sample falls below
+   [--min-availability] (default: disabled). *)
 
 module Config = Lion_store.Config
 module Engine = Lion_sim.Engine
 module Fault = Lion_sim.Fault
+module History = Lion_store.History
+module Checker = Lion_audit.Checker
 module Runner = Lion_harness.Runner
 module Workloads = Lion_harness.Workloads
 
 let () =
-  let crashed = try int_of_string Sys.argv.(1) with _ -> 1 in
+  let min_avail = ref neg_infinity in
+  let max_anomalies = ref max_int in
+  let positional = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--min-availability" :: v :: rest ->
+        min_avail := float_of_string v;
+        parse rest
+    | "--max-anomalies" :: v :: rest ->
+        max_anomalies := int_of_string v;
+        parse rest
+    | v :: rest ->
+        positional := v :: !positional;
+        parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let positional = Array.of_list (List.rev !positional) in
+  let pos i = if i < Array.length positional then Some positional.(i) else None in
+  let crashed = try int_of_string (Option.get (pos 0)) with _ -> 1 in
   (* Node 0 stays up so the cluster always has a survivor. *)
   let crashed = min crashed (Config.default.Config.nodes - 1) in
-  let fail_s = try float_of_string Sys.argv.(2) with _ -> 6.0 in
-  let recover_s = try float_of_string Sys.argv.(3) with _ -> 16.0 in
-  let total = try float_of_string Sys.argv.(4) with _ -> 20.0 in
+  let fail_s = try float_of_string (Option.get (pos 1)) with _ -> 6.0 in
+  let recover_s = try float_of_string (Option.get (pos 2)) with _ -> 16.0 in
+  let total = try float_of_string (Option.get (pos 3)) with _ -> 20.0 in
   let plan =
     List.concat_map
       (fun node ->
@@ -29,8 +56,12 @@ let () =
       (List.init crashed (fun i -> i + 1))
   in
   let cfg = { Config.default with Config.fault_plan = plan } in
+  let gate = !min_avail > neg_infinity || !max_anomalies < max_int in
+  (* Record a history only when a gate asked for it: recording off is
+     the bit-for-bit-identical default. *)
+  let history = if gate then Some (History.create ()) else None in
   let r =
-    Runner.run ~cfg
+    Runner.run ?history ~cfg
       ~make:(fun cl ->
         Lion_core.Standard.create ~name:"Lion"
           ~config:
@@ -55,4 +86,23 @@ let () =
     (if Float.is_finite r.Runner.time_to_recover then
        Printf.sprintf "%.0fs" r.Runner.time_to_recover
      else "not yet")
-    (r.Runner.goodput_under_fault /. 1000.0)
+    (r.Runner.goodput_under_fault /. 1000.0);
+  let failed = ref false in
+  (match history with
+  | None -> ()
+  | Some h ->
+      let report = Checker.check (History.events h) in
+      let n = List.length report.Checker.anomalies in
+      Printf.printf "audit: %d events, %d anomalies\n"
+        report.Checker.events n;
+      if n > !max_anomalies then (
+        Format.printf "%a@." Checker.pp_report report;
+        Printf.printf "FAIL: %d anomalies > --max-anomalies %d\n" n !max_anomalies;
+        failed := true));
+  if !min_avail > neg_infinity then (
+    let lowest = Array.fold_left Stdlib.min 1.0 r.Runner.availability in
+    if lowest < !min_avail then (
+      Printf.printf "FAIL: availability %.4f < --min-availability %.4f\n" lowest
+        !min_avail;
+      failed := true));
+  if !failed then exit 1

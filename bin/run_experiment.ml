@@ -28,6 +28,7 @@ let () =
             incr counter;
             let path = Printf.sprintf "traces/run-%03d.json" !counter in
             Lion_trace.Chrome.write ~path ~label:path
+              ~instants:(Lion_trace.Trace.instants t)
               (Lion_trace.Trace.retained t);
             Lion_trace.Report.print ~top:3 ~label:path t);
       });

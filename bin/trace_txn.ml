@@ -122,6 +122,6 @@ let () =
   Lion_trace.Report.print ~top:!top ~label:name tracer;
   if !out <> "" then (
     Lion_trace.Chrome.write ~path:!out ~label:name
-      (Trace.retained tracer);
+      ~instants:(Trace.instants tracer) (Trace.retained tracer);
     Printf.printf "wrote %s (load in ui.perfetto.dev or chrome://tracing)\n"
       !out)

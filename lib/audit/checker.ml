@@ -1,0 +1,344 @@
+module Kvstore = Lion_store.Kvstore
+module History = Lion_store.History
+
+type edge_kind = Ww | Wr | Rw
+
+let kind_name = function Ww -> "ww" | Wr -> "wr" | Rw -> "rw"
+
+type edge = {
+  src : int;
+  dst : int;
+  kind : edge_kind;
+  key : Kvstore.key;
+  version : int;
+}
+
+type anomaly =
+  | G0 of edge list
+  | G1a of { reader : int; writer : int; key : Kvstore.key; version : int }
+  | G1c of edge list
+  | Lost_update of edge list
+  | G2 of edge list
+  | Divergent_install of { key : Kvstore.key; version : int; writers : int list }
+
+type report = {
+  events : int;
+  committed : int;
+  edges : int;
+  anomalies : anomaly list;
+}
+
+let anomaly_name = function
+  | G0 _ -> "G0"
+  | G1a _ -> "G1a"
+  | G1c _ -> "G1c"
+  | Lost_update _ -> "lost-update"
+  | G2 _ -> "G2"
+  | Divergent_install _ -> "divergent-install"
+
+let serializable r = r.anomalies = []
+
+let pp_edge fmt e =
+  Format.fprintf fmt "T%d -%s(%a@@v%d)-> T%d" e.src (kind_name e.kind)
+    Kvstore.pp_key e.key e.version e.dst
+
+let pp_cycle fmt cycle =
+  Format.pp_print_list
+    ~pp_sep:(fun f () -> Format.pp_print_string f "; ")
+    pp_edge fmt cycle
+
+let pp_anomaly fmt = function
+  | G0 c -> Format.fprintf fmt "G0 write cycle: %a" pp_cycle c
+  | G1a { reader; writer; key; version } ->
+      Format.fprintf fmt "G1a aborted read: T%d read %a@@v%d written by aborted T%d"
+        reader Kvstore.pp_key key version writer
+  | G1c c -> Format.fprintf fmt "G1c circular information flow: %a" pp_cycle c
+  | Lost_update c -> Format.fprintf fmt "lost update: %a" pp_cycle c
+  | G2 c -> Format.fprintf fmt "G2 anti-dependency cycle: %a" pp_cycle c
+  | Divergent_install { key; version; writers } ->
+      Format.fprintf fmt "divergent install: %a@@v%d written by %a" Kvstore.pp_key
+        key version
+        (Format.pp_print_list
+           ~pp_sep:(fun f () -> Format.pp_print_string f ", ")
+           (fun f t -> Format.fprintf f "T%d" t))
+        writers
+
+let pp_report fmt r =
+  Format.fprintf fmt "@[<v>%d events, %d committed, %d edges: %s@," r.events
+    r.committed r.edges
+    (if serializable r then "serializable"
+     else Printf.sprintf "%d anomalies" (List.length r.anomalies));
+  List.iter (fun a -> Format.fprintf fmt "  %a@," pp_anomaly a) r.anomalies;
+  Format.fprintf fmt "@]"
+
+(* Iterative Tarjan (histories reach 10^5 transactions; recursion depth
+   is unbounded along dependency chains). Nodes are visited in the
+   caller-supplied order and successor lists are pre-sorted, so the SCC
+   decomposition — and every witness below — is deterministic. *)
+let sccs nodes succ =
+  let index = Hashtbl.create 1024 in
+  let low = Hashtbl.create 1024 in
+  let onstack = Hashtbl.create 1024 in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let out = ref [] in
+  let frames = Stack.create () in
+  let push_node v =
+    Hashtbl.replace index v !counter;
+    Hashtbl.replace low v !counter;
+    incr counter;
+    stack := v :: !stack;
+    Hashtbl.replace onstack v true;
+    Stack.push (v, ref (succ v)) frames
+  in
+  let visit root =
+    if not (Hashtbl.mem index root) then (
+      push_node root;
+      while not (Stack.is_empty frames) do
+        let v, rest = Stack.top frames in
+        match !rest with
+        | w :: tl ->
+            rest := tl;
+            if not (Hashtbl.mem index w) then push_node w
+            else if Hashtbl.find_opt onstack w = Some true then
+              Hashtbl.replace low v
+                (Stdlib.min (Hashtbl.find low v) (Hashtbl.find index w))
+        | [] ->
+            ignore (Stack.pop frames);
+            if Hashtbl.find low v = Hashtbl.find index v then (
+              let rec pop acc =
+                match !stack with
+                | w :: tl ->
+                    stack := tl;
+                    Hashtbl.replace onstack w false;
+                    if w = v then w :: acc else pop (w :: acc)
+                | [] -> acc
+              in
+              out := pop [] :: !out);
+            (match Stack.top_opt frames with
+            | Some (p, _) ->
+                Hashtbl.replace low p
+                  (Stdlib.min (Hashtbl.find low p) (Hashtbl.find low v))
+            | None -> ())
+      done)
+  in
+  List.iter visit nodes;
+  List.rev !out
+
+(* Minimal cycle through [start] inside one SCC: BFS over the SCC's
+   edges from [start]; the first edge closing back on [start] ends a
+   shortest cycle. Edge lists are sorted, so ties break the same way
+   every run. *)
+let witness ~start ~in_scc ~edges_of =
+  let parent = Hashtbl.create 64 in
+  let queue = Queue.create () in
+  Queue.push start queue;
+  Hashtbl.replace parent start None;
+  let result = ref None in
+  (try
+     while not (Queue.is_empty queue) do
+       let u = Queue.pop queue in
+       List.iter
+         (fun e ->
+           if in_scc e.dst && !result = None then
+             if e.dst = start then (
+               (* Rebuild the path start -> u, then close with [e]. *)
+               let rec path v acc =
+                 match Hashtbl.find parent v with
+                 | None -> acc
+                 | Some pe -> path pe.src (pe :: acc)
+               in
+               result := Some (path u [] @ [ e ]);
+               raise Exit)
+             else if not (Hashtbl.mem parent e.dst) then (
+               Hashtbl.replace parent e.dst (Some e);
+               Queue.push e.dst queue))
+         (edges_of u)
+     done
+   with Exit -> ());
+  !result
+
+let classify cycle =
+  let kinds = List.sort_uniq compare (List.map (fun e -> e.kind) cycle) in
+  match kinds with
+  | [ Ww ] -> G0 cycle
+  | _ when not (List.mem Rw kinds) -> G1c cycle
+  | _ -> (
+      match cycle with
+      | [ a; b ]
+        when List.sort compare [ a.kind; b.kind ] = [ Ww; Rw ]
+             && Kvstore.key_compare a.key b.key = 0 ->
+          Lost_update cycle
+      | _ -> G2 cycle)
+
+let check events =
+  let committed_evts =
+    List.filter (fun e -> e.History.outcome = History.Committed) events
+  in
+  let committed_ids = Hashtbl.create 1024 in
+  List.iter (fun e -> Hashtbl.replace committed_ids e.History.txn_id ()) committed_evts;
+  (* Installed versions: key -> (version -> writer txn). A version two
+     committed transactions both claim to have installed is itself an
+     anomaly (split-brain double execution). *)
+  let installs : (Kvstore.key, (int, int list) Hashtbl.t) Hashtbl.t =
+    Hashtbl.create 4096
+  in
+  List.iter
+    (fun e ->
+      List.iter
+        (fun (k, v) ->
+          let vt =
+            match Hashtbl.find_opt installs k with
+            | Some vt -> vt
+            | None ->
+                let vt = Hashtbl.create 8 in
+                Hashtbl.add installs k vt;
+                vt
+          in
+          let prev = Option.value ~default:[] (Hashtbl.find_opt vt v) in
+          if not (List.mem e.History.txn_id prev) then
+            Hashtbl.replace vt v (e.History.txn_id :: prev))
+        e.History.writes)
+    committed_evts;
+  (* Writes of aborted (never indeterminate) attempts: only hand-built
+     histories carry these — the engines record no writes on abort —
+     but the G1a rule needs them. *)
+  let aborted_installs = Hashtbl.create 64 in
+  List.iter
+    (fun e ->
+      if e.History.outcome = History.Aborted then
+        List.iter
+          (fun (k, v) ->
+            if not (Hashtbl.mem aborted_installs (k, v)) then
+              Hashtbl.add aborted_installs (k, v) e.History.txn_id)
+          e.History.writes)
+    events;
+  let keys_sorted =
+    Hashtbl.fold (fun k _ acc -> k :: acc) installs []
+    |> List.sort Kvstore.key_compare
+  in
+  let divergent = ref [] in
+  let sorted_installs k =
+    let vt = Hashtbl.find installs k in
+    Hashtbl.fold (fun v ts acc -> (v, List.sort compare ts) :: acc) vt []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  List.iter
+    (fun k ->
+      List.iter
+        (fun (v, writers) ->
+          match writers with
+          | _ :: _ :: _ -> divergent := (k, v, writers) :: !divergent
+          | _ -> ())
+        (sorted_installs k))
+    keys_sorted;
+  (* Dependency edges, deduplicated. *)
+  let edge_set = Hashtbl.create 4096 in
+  let adj : (int, edge list) Hashtbl.t = Hashtbl.create 1024 in
+  let add_edge e =
+    if e.src <> e.dst && not (Hashtbl.mem edge_set e) then (
+      Hashtbl.add edge_set e ();
+      Hashtbl.replace adj e.src
+        (e :: Option.value ~default:[] (Hashtbl.find_opt adj e.src)))
+  in
+  (* ww: consecutive installed versions of a key. *)
+  List.iter
+    (fun k ->
+      let rec pairs = function
+        | (_, ts1) :: ((v2, ts2) :: _ as rest) ->
+            List.iter
+              (fun t1 ->
+                List.iter
+                  (fun t2 -> add_edge { src = t1; dst = t2; kind = Ww; key = k; version = v2 })
+                  ts2)
+              ts1;
+            pairs rest
+        | _ -> []
+      in
+      ignore (pairs (sorted_installs k)))
+    keys_sorted;
+  (* wr and rw from each committed transaction's observed reads. *)
+  let g1a = ref [] in
+  List.iter
+    (fun e ->
+      let reader = e.History.txn_id in
+      List.iter
+        (fun (k, v) ->
+          (match Hashtbl.find_opt aborted_installs (k, v) with
+          | Some writer ->
+              let a = (reader, writer, k, v) in
+              if not (List.mem a !g1a) then g1a := a :: !g1a
+          | None -> ());
+          match Hashtbl.find_opt installs k with
+          | None -> ()
+          | Some vt ->
+              (match Hashtbl.find_opt vt v with
+              | Some writers ->
+                  List.iter
+                    (fun w -> add_edge { src = w; dst = reader; kind = Wr; key = k; version = v })
+                    writers
+              | None -> ());
+              (* Anti-dependency: the reader precedes the writer of the
+                 next installed version — unless the reader itself
+                 installed it (a read-modify-write's own overwrite). *)
+              let next =
+                Hashtbl.fold
+                  (fun v' _ best ->
+                    if v' > v then
+                      match best with
+                      | Some b when b <= v' -> best
+                      | _ -> Some v'
+                    else best)
+                  vt None
+              in
+              (match next with
+              | Some v' ->
+                  let writers = List.sort compare (Hashtbl.find vt v') in
+                  if not (List.mem reader writers) then
+                    List.iter
+                      (fun w ->
+                        add_edge { src = reader; dst = w; kind = Rw; key = k; version = v' })
+                      writers
+              | None -> ()))
+        e.History.reads)
+    committed_evts;
+  (* Deterministic adjacency order. *)
+  let edges_of v =
+    Option.value ~default:[] (Hashtbl.find_opt adj v)
+    |> List.sort (fun a b ->
+           compare (a.dst, a.kind, a.version) (b.dst, b.kind, b.version))
+  in
+  let nodes =
+    Hashtbl.fold (fun t () acc -> t :: acc) committed_ids [] |> List.sort compare
+  in
+  let components =
+    sccs nodes (fun v -> List.map (fun e -> e.dst) (edges_of v))
+  in
+  let cycle_anomalies =
+    List.filter_map
+      (fun comp ->
+        match comp with
+        | [] | [ _ ] -> None
+        | _ ->
+            let members = Hashtbl.create 16 in
+            List.iter (fun t -> Hashtbl.replace members t ()) comp;
+            let start = List.fold_left Stdlib.min (List.hd comp) comp in
+            witness ~start ~in_scc:(Hashtbl.mem members) ~edges_of
+            |> Option.map classify)
+      components
+  in
+  let anomalies =
+    List.map
+      (fun (key, version, writers) -> Divergent_install { key; version; writers })
+      (List.rev !divergent)
+    @ List.map
+        (fun (reader, writer, key, version) -> G1a { reader; writer; key; version })
+        (List.sort compare !g1a)
+    @ cycle_anomalies
+  in
+  {
+    events = List.length events;
+    committed = List.length committed_evts;
+    edges = Hashtbl.length edge_set;
+    anomalies;
+  }

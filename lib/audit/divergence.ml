@@ -1,0 +1,94 @@
+module Cluster = Lion_store.Cluster
+module Placement = Lion_store.Placement
+module Replication = Lion_store.Replication
+module Kvstore = Lion_store.Kvstore
+module History = Lion_store.History
+
+type finding =
+  | Replica_behind of { part : int; node : int; applied : int; log_len : int }
+  | Lost_write of { key : Kvstore.key; history_version : int; store_version : int }
+
+type report = {
+  partitions : int;
+  replicas_checked : int;
+  findings : finding list;
+}
+
+let clean r = r.findings = []
+
+let pp_finding fmt = function
+  | Replica_behind { part; node; applied; log_len } ->
+      Format.fprintf fmt
+        "replica P%d@@node%d behind: applied %d of %d log records" part node
+        applied log_len
+  | Lost_write { key; history_version; store_version } ->
+      Format.fprintf fmt
+        "lost write: history installed %a@@v%d but the store holds v%d"
+        Kvstore.pp_key key history_version store_version
+
+let pp_report fmt r =
+  Format.fprintf fmt "@[<v>%d partitions, %d replicas: %s@," r.partitions
+    r.replicas_checked
+    (if clean r then "no divergence"
+     else Printf.sprintf "%d findings" (List.length r.findings));
+  List.iter (fun f -> Format.fprintf fmt "  %a@," pp_finding f) r.findings;
+  Format.fprintf fmt "@]"
+
+let audit ?history cl =
+  let placement = cl.Cluster.placement in
+  let repl = cl.Cluster.replication in
+  let parts = Placement.partitions placement in
+  let findings = ref [] in
+  let checked = ref 0 in
+  (* Log-apply watermarks: at quiescence every live replica holder must
+     have applied the partition's full log. Dead nodes are skipped —
+     their copies left the placement at crash time. *)
+  for part = 0 to parts - 1 do
+    let log_len = Replication.appends repl ~part in
+    let holders =
+      Placement.primary placement part :: Placement.secondaries placement part
+      |> List.sort_uniq compare
+    in
+    List.iter
+      (fun node ->
+        if Cluster.alive cl node then (
+          incr checked;
+          let applied = Replication.applied repl ~part ~node in
+          if applied < log_len then
+            findings := Replica_behind { part; node; applied; log_len } :: !findings))
+      holders
+  done;
+  (* History cross-check: every version the history says was installed
+     must exist in a store. Standard engines install into the cluster's
+     real Kvstore; batch engines synthesize against the sink's shadow —
+     take whichever is further ahead. *)
+  (match history with
+  | None -> ()
+  | Some h ->
+      let top = Hashtbl.create 4096 in
+      List.iter
+        (fun e ->
+          if e.History.outcome = History.Committed then
+            List.iter
+              (fun (k, v) ->
+                match Hashtbl.find_opt top k with
+                | Some v' when v' >= v -> ()
+                | _ -> Hashtbl.replace top k v)
+              e.History.writes)
+        (History.events h);
+      let keys =
+        Hashtbl.fold (fun k _ acc -> k :: acc) top []
+        |> List.sort Kvstore.key_compare
+      in
+      List.iter
+        (fun k ->
+          let hv = Hashtbl.find top k in
+          let sv =
+            Stdlib.max
+              (Kvstore.version cl.Cluster.store k)
+              (Kvstore.version (History.shadow h) k)
+          in
+          if sv < hv then
+            findings := Lost_write { key = k; history_version = hv; store_version = sv } :: !findings)
+        keys);
+  { partitions = parts; replicas_checked = !checked; findings = List.rev !findings }

@@ -1,0 +1,49 @@
+(** Audit harness: workload × protocol × nemesis → recorded history →
+    checker + divergence audit.
+
+    Differs from the throughput harness ({!Lion_harness.Runner}) in one
+    essential way: clients and the protocol tick stop issuing work at
+    the horizon, so after [drain] the event queue {e empties} —
+    in-flight retries resolve, elections finish, log ships and
+    anti-entropy repairs land. The checker and the replica-divergence
+    audit run at that true quiescence. *)
+
+type outcome = {
+  history : Lion_store.History.t;
+  check : Checker.report;
+  divergence : Divergence.report;
+  submitted : int;
+  completed : int;
+  commits : int;
+  aborts : int;
+  min_availability : float;
+      (** lowest 100 ms-sampled {!Lion_store.Cluster.availability}
+          before the horizon *)
+  resyncs : int;  (** anti-entropy repairs that completed *)
+  final_time : float;  (** simulated time when the queue drained (µs) *)
+}
+
+val passed : outcome -> bool
+(** Serializable history and no replica divergence. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit
+
+val run :
+  ?seed:int ->
+  ?clients:int ->
+  ?duration:float ->
+  ?nemesis_at:float ->
+  ?tracer:Lion_trace.Trace.t ->
+  ?max_events:int ->
+  cfg:Lion_store.Config.t ->
+  make:(Lion_store.Cluster.t -> Lion_protocols.Proto.t) ->
+  gen:(time:float -> Lion_workload.Txn.t) ->
+  nemesis:Nemesis.t ->
+  unit ->
+  outcome
+(** Run [clients] (default 8) closed-loop clients for [duration]
+    simulated seconds (default 4), with the nemesis' fault plan
+    anchored [nemesis_at] seconds in (default 1), then drain to
+    quiescence (bounded by [max_events]) and audit. The nemesis plan
+    is appended to any plan already in [cfg]. Deterministic in
+    ([seed], [cfg], nemesis). *)

@@ -67,7 +67,9 @@ let create_with_planner ?name ?(seed = 31) ?(config = Planner.default_config) cl
         in
         Network.charge cl.Cluster.network ~bytes:lag_bytes;
         cl.Cluster.remaster_count <- cl.Cluster.remaster_count + 1;
-        Placement.remaster placement ~part ~node)
+        Placement.remaster placement ~part ~node;
+        (* The lag ship above brings the promoted copy current. *)
+        Cluster.note_replica_synced cl ~part ~node)
       claims;
     (* Pass 2: conflict analysis and execution accounting. OCC
        conflicts among overlapping executions restart within the epoch

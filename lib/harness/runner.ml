@@ -83,15 +83,15 @@ let fault_summary ~availability ~throughput_series =
   in
   (!unavail, time_to_recover, goodput)
 
-let run ?(seed = 1) ?(batch = false) ?(setup = fun _ -> ()) ?tracer ~cfg ~make
-    ~gen rc =
+let run ?(seed = 1) ?(batch = false) ?(setup = fun _ -> ()) ?tracer ?history
+    ~cfg ~make ~gen rc =
   let sink_tracer =
     match (tracer, !sink) with
     | None, Some s -> Some (s.fresh ())
     | _ -> None
   in
   let tracer = match tracer with Some _ -> tracer | None -> sink_tracer in
-  let cl = Cluster.create ~seed ?tracer cfg in
+  let cl = Cluster.create ~seed ?tracer ?history cfg in
   setup cl;
   let proto = make cl in
   let engine = cl.Cluster.engine in

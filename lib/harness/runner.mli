@@ -69,6 +69,7 @@ val run :
   ?batch:bool ->
   ?setup:(Lion_store.Cluster.t -> unit) ->
   ?tracer:Lion_trace.Trace.t ->
+  ?history:Lion_store.History.t ->
   cfg:Lion_store.Config.t ->
   make:(Lion_store.Cluster.t -> Lion_protocols.Proto.t) ->
   gen:(time:float -> Lion_workload.Txn.t) ->
@@ -80,4 +81,7 @@ val run :
     starts — fault-injection experiments use it to schedule node
     failures on the cluster's engine. [tracer] (default: ask the trace
     sink, else none) enables causal transaction tracing on the cluster;
-    the caller inspects or exports it afterwards. *)
+    the caller inspects or exports it afterwards. [history] (default
+    none) attaches a consistency-audit sink that the protocol engines
+    fill with one event per transaction attempt — see
+    {!Lion_store.History} and the [Lion_audit] checker. *)

@@ -6,6 +6,7 @@ module Network = Lion_sim.Network
 module Metrics = Lion_sim.Metrics
 module Txn = Lion_workload.Txn
 module Trace = Lion_trace.Trace
+module History = Lion_store.History
 
 type verdict = { committed : bool; single_node : bool; remastered : bool }
 
@@ -92,6 +93,39 @@ let emit_stages st req ~t0 ~t1 ~t2 ~t3 ~now =
       stage barrier_label "remaster" t2 t3;
       stage "epoch-commit" "commit" t3 now
 
+(* Consistency-audit hook. Epoch engines are analytic — they never
+   touch the real [Kvstore] — so history events are synthesized against
+   the sink's private shadow store, in epoch commit order (the array
+   order the deterministic conflict pass already fixed): a committed
+   transaction reads the current shadow versions, installs its writes
+   (bumping them), and records the installed versions; an aborted
+   attempt records only its observed reads. With no sink this is one
+   match per epoch. *)
+let record_history st ~now req (v : verdict) =
+  match st.cl.Cluster.history with
+  | None -> ()
+  | Some h ->
+      let shadow = History.shadow h in
+      let reads =
+        List.map (fun op ->
+            let k = Txn.key_of op in
+            (k, Kvstore.version shadow k))
+          req.txn.Txn.ops
+      in
+      let writes =
+        if v.committed then (
+          let wkeys = List.sort_uniq Kvstore.key_compare (Txn.write_keys req.txn) in
+          let s = Kvstore.begin_session shadow in
+          List.iter (Kvstore.write s) wkeys;
+          Kvstore.commit_session s;
+          List.map (fun k -> (k, Kvstore.version shadow k)) wkeys)
+        else []
+      in
+      History.record h ~txn_id:req.txn.Txn.id ~attempt:(req.retries + 1) ~reads
+        ~writes
+        ~outcome:(if v.committed then History.Committed else History.Aborted)
+        ~ts:now
+
 let scale_phases phase_split latency =
   let total = List.fold_left (fun acc (_, w) -> acc +. w) 0.0 phase_split in
   if total <= 0.0 then [ (Metrics.Execution, latency) ]
@@ -138,6 +172,7 @@ let rec start_epoch st =
           (fun i req ->
             let v = result.verdicts.(i) in
             let give_up = req.retries >= st.max_retries in
+            record_history st ~now req v;
             if v.committed || give_up then (
               let latency = now -. req.enqueued in
               Metrics.record_commit st.cl.Cluster.metrics ~latency

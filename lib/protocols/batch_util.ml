@@ -34,7 +34,19 @@ let home_node cl (txn : Txn.t) =
 let charge_replication cl (txn : Txn.t) =
   let cfg = cl.Cluster.cfg in
   List.iter
-    (fun p -> Lion_store.Replication.append cl.Cluster.replication ~part:p)
+    (fun p ->
+      let repl = cl.Cluster.replication in
+      Lion_store.Replication.append repl ~part:p;
+      (* The epoch barrier already synchronised every replica before
+         the batch committed (deterministic engines), so the analytic
+         charge marks all live holders as having applied the record. *)
+      let len = Lion_store.Replication.appends repl ~part:p in
+      List.iter
+        (fun n ->
+          if Cluster.alive cl n then
+            Lion_store.Replication.set_applied repl ~part:p ~node:n ~upto:len)
+        (Placement.primary cl.Cluster.placement p
+        :: Placement.secondaries cl.Cluster.placement p))
     txn.Txn.parts;
   let bytes =
     List.fold_left

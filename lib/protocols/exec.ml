@@ -8,6 +8,7 @@ module Metrics = Lion_sim.Metrics
 module Rng = Lion_kernel.Rng
 module Txn = Lion_workload.Txn
 module Trace = Lion_trace.Trace
+module History = Lion_store.History
 
 type flavor = {
   remaster_secondary : bool;
@@ -85,7 +86,7 @@ let record_ops session ops =
    tuples) move to the coordinator before the operation executes. *)
 let leap_migration_overhead = 200.0
 
-let attempt ?ctx cl ~coordinator ~txn ~flavor ~k =
+let attempt ?ctx ?(attempt_no = 1) cl ~coordinator ~txn ~flavor ~k =
   let cfg = cl.Cluster.cfg in
   let engine = cl.Cluster.engine in
   let placement = cl.Cluster.placement in
@@ -96,6 +97,25 @@ let attempt ?ctx cl ~coordinator ~txn ~flavor ~k =
   else
   Cluster.acquire_worker cl ~node:coordinator (fun lease ->
       let session = Kvstore.begin_session cl.Cluster.store in
+      (* Consistency-audit hook: one history event per attempt, with the
+         versions the session observed and (for commits) the versions
+         [finalize] installed. [None] records nothing and costs one
+         match — runs without a sink are untouched. *)
+      let record_outcome outcome =
+        match cl.Cluster.history with
+        | None -> ()
+        | Some h ->
+            let writes =
+              match outcome with
+              | History.Committed ->
+                  List.sort_uniq Kvstore.key_compare (Kvstore.write_set session)
+                  |> List.map (fun key -> (key, Kvstore.version cl.Cluster.store key))
+              | History.Aborted | History.Indeterminate -> []
+            in
+            History.record h ~txn_id:txn.Txn.id ~attempt:attempt_no
+              ~reads:(Kvstore.observed_reads session) ~writes ~outcome
+              ~ts:(Engine.now engine)
+      in
       let exec_start = Engine.now engine in
       let remaster_time = ref 0.0 in
       let used_remaster = ref false in
@@ -103,6 +123,7 @@ let attempt ?ctx cl ~coordinator ~txn ~flavor ~k =
       (* Abort path for unreachable participants / unavailable
          partitions: give the worker back and let the caller retry. *)
       let fail_txn () =
+        record_outcome History.Aborted;
         Cluster.release_worker cl ~node:coordinator lease;
         k
           {
@@ -219,16 +240,21 @@ let attempt ?ctx cl ~coordinator ~txn ~flavor ~k =
                              mastership; pick deterministically. *)
                           (match Placement.secondaries placement part with
                           | victim :: _ ->
-                              Placement.remove_secondary placement ~part ~node:victim
+                              Placement.remove_secondary placement ~part ~node:victim;
+                              Cluster.note_replica_dropped cl ~part ~node:victim
                           | [] -> ());
                         Placement.add_secondary placement ~part ~node:coordinator);
                       let old_prim = Placement.primary placement part in
                       Placement.remaster placement ~part ~node:coordinator;
+                      (* The pulled tuples are current as of the pull. *)
+                      Cluster.note_replica_synced cl ~part ~node:coordinator;
                       (* [remaster] demoted the old primary to secondary;
                          if it died while the tuples were in flight, purge
                          the phantom copy it would otherwise keep. *)
                       if old_prim <> coordinator && not (Cluster.alive cl old_prim)
-                      then Placement.remove_secondary placement ~part ~node:old_prim;
+                      then (
+                        Placement.remove_secondary placement ~part ~node:old_prim;
+                        Cluster.note_replica_dropped cl ~part ~node:old_prim);
                       execute_locally ()
                     end))
               else execute_remote ()
@@ -272,6 +298,7 @@ let attempt ?ctx cl ~coordinator ~txn ~flavor ~k =
           if remote = [] then
             if Kvstore.try_reserve session then (
               Kvstore.finalize session;
+              record_outcome History.Committed;
               Cluster.replicate_commit cl ?ctx txn.Txn.parts;
               finish
                 {
@@ -280,14 +307,15 @@ let attempt ?ctx cl ~coordinator ~txn ~flavor ~k =
                   remastered = !used_remaster;
                   phases = base_phases;
                 })
-            else
+            else (
+              record_outcome History.Aborted;
               finish
                 {
                   committed = false;
                   single_node = true;
                   remastered = !used_remaster;
                   phases = base_phases;
-                }
+                })
           else (
             (* 2PC. Participants are the current primary nodes of the
                remote partitions. *)
@@ -323,6 +351,7 @@ let attempt ?ctx cl ~coordinator ~txn ~flavor ~k =
                      collected every replica's vote: commit now, send
                      the decision one-way. *)
                   Kvstore.finalize session;
+                  record_outcome History.Committed;
                   List.iter
                     (fun node ->
                       Network.send cl.Cluster.network ~src:coordinator ~dst:node
@@ -346,6 +375,7 @@ let attempt ?ctx cl ~coordinator ~txn ~flavor ~k =
                   Trace.finish ~ts:(Engine.now engine) cctx;
                   let commit_time = Engine.now engine -. commit_start in
                   Kvstore.finalize session;
+                  record_outcome History.Committed;
                   Cluster.replicate_commit cl ?ctx txn.Txn.parts;
                   finish
                     {
@@ -378,6 +408,7 @@ let attempt ?ctx cl ~coordinator ~txn ~flavor ~k =
                       participants)
               else (
                 (* Validation failed: one-way aborts, no waiting. *)
+                record_outcome History.Aborted;
                 List.iter
                   (fun node ->
                     Network.send cl.Cluster.network ~src:coordinator ~dst:node
@@ -396,7 +427,11 @@ let attempt ?ctx cl ~coordinator ~txn ~flavor ~k =
                stays unreachable through the RPC retry schedule, the
                coordinator aborts, tells the reachable participants
                one-way, and gives the attempt up. *)
+            (* The coordinator never learned every vote: presumed abort
+               resolves it internally, but an external auditor must
+               treat the outcome as indeterminate. *)
             let on_prepare_fail () =
+              record_outcome History.Indeterminate;
               Trace.finish ~ts:(Engine.now engine) pctx;
               List.iter
                 (fun node ->
@@ -454,7 +489,7 @@ let run cl ~route ~flavor txn ~on_done =
             ~name:(Printf.sprintf "attempt %d" !attempts)
             ~ts:(Engine.now engine) octx
     in
-    attempt ?ctx:actx cl ~coordinator ~txn ~flavor ~k:(fun r ->
+    attempt ?ctx:actx ~attempt_no:!attempts cl ~coordinator ~txn ~flavor ~k:(fun r ->
         Trace.finish ~ts:(Engine.now engine) actx;
         if r.committed then (
           let interval = cfg.Config.group_commit_interval in

@@ -55,6 +55,7 @@ type result = {
 
 val attempt :
   ?ctx:Lion_trace.Trace.ctx ->
+  ?attempt_no:int ->
   Lion_store.Cluster.t ->
   coordinator:int ->
   txn:Lion_workload.Txn.t ->
@@ -65,7 +66,14 @@ val attempt :
     worker; [k] fires at worker release. On commit, the group-commit
     visibility delay is {e not} included here — see [run]. [ctx] (one
     attempt's span of a traced transaction) nests setup, per-group
-    execution, remaster transfers and the 2PC rounds under it. *)
+    execution, remaster transfers and the 2PC rounds under it.
+
+    When the cluster carries a history sink ([Cluster.history]), the
+    attempt records one {!Lion_store.History} event — observed read
+    versions, installed write versions on commit, and the outcome
+    (committed / aborted / indeterminate when a 2PC prepare round
+    exhausted its retries). [attempt_no] (default 1) labels the event
+    with the retry ordinal. *)
 
 val run :
   Lion_store.Cluster.t ->

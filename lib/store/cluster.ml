@@ -22,6 +22,7 @@ type t = {
   workers : Server.t array;
   services : Server.t array;
   tracer : Trace.t option;
+  history : History.t option;
   rng : Rng.t;
   part_available : float array;
   part_access : float array;
@@ -31,6 +32,8 @@ type t = {
   mutable replica_add_count : int;
   mutable migration_count : int;
   mutable remaster_inflight : bool array;
+  resync_inflight : (int * int, unit) Hashtbl.t;
+  mutable resync_count : int;
 }
 
 let now t = Engine.now t.engine
@@ -67,25 +70,38 @@ let try_begin_remaster t ~part ~node =
     t.remaster_inflight.(part) <- true;
     (* Burn the cooldown optimistically so concurrent attempts see it,
        but remember the previous stamp: a transfer that fails (target
-       died mid-flight) must not consume the partition's cooldown. *)
+       died mid-flight, or the lag ship was lost to a partition) must
+       not consume the partition's cooldown. *)
     let started = now t in
     let prev = t.part_last_remaster.(part) in
     t.part_last_remaster.(part) <- started;
     let delay = t.cfg.Config.remaster_delay in
     block_partition t part (now t +. delay);
     (* Lagging-log synchronisation: ship the records the secondary has
-       not yet acknowledged (§III), not the whole partition. *)
+       not yet acknowledged (§III), not the whole partition. If the
+       fault layer kills the transfer (the target is partitioned away
+       mid-handover), the promotion must not happen: a primary whose
+       log suffix never arrived would serve stale state. *)
     let src = Placement.primary t.placement part in
     let lag_bytes =
       Stdlib.max 256 (Replication.lag t.replication ~part * t.cfg.Config.record_bytes)
     in
-    Network.send t.network ~src ~dst:node ~bytes:lag_bytes (fun () -> ());
+    let transfer_lost = ref false in
+    Network.send t.network ~src ~dst:node ~bytes:lag_bytes
+      ~on_drop:(fun () -> transfer_lost := true)
+      (fun () -> ());
     Engine.schedule t.engine ~delay (fun () ->
         (* The placement may have changed while blocked only via this
            remaster (the inflight flag excludes races) — but the target
            may have died in the meantime. *)
-        if t.node_alive.(node) && Placement.has_replica t.placement ~part ~node then (
+        if
+          t.node_alive.(node)
+          && Placement.has_replica t.placement ~part ~node
+          && not !transfer_lost
+        then (
           Placement.remaster t.placement ~part ~node;
+          Replication.set_applied t.replication ~part ~node
+            ~upto:(Replication.appends t.replication ~part);
           t.remaster_count <- t.remaster_count + 1;
           (* A partition parked as unavailable (lost quorum) now has a
              live primary again: reopen it. *)
@@ -119,7 +135,11 @@ let evict_one_secondary t ~part ~keep =
                 if load_n > load_b || (load_n = load_b && n < b) then Some n else Some b)
           None candidates
       in
-      Option.iter (fun n -> Placement.remove_secondary t.placement ~part ~node:n) victim
+      Option.iter
+        (fun n ->
+          Placement.remove_secondary t.placement ~part ~node:n;
+          Replication.forget_applied t.replication ~part ~node:n)
+        victim
 
 (* A copy source for [part]: the primary if it is live, else a live
    secondary. [None] when every replica sits on a dead node — the data
@@ -150,12 +170,17 @@ let add_replica t ~part ~node ~on_ready =
             if t.node_alive.(node) then (
               if not (Placement.has_replica t.placement ~part ~node) then (
                 Placement.add_secondary t.placement ~part ~node;
+                (* A fresh install carries a full snapshot: the replica
+                   starts caught up with the log. *)
+                Replication.set_applied t.replication ~part ~node
+                  ~upto:(Replication.appends t.replication ~part);
                 t.replica_add_count <- t.replica_add_count + 1);
               on_ready ()))
 
 let remove_replica t ~part ~node =
-  if Placement.has_secondary t.placement ~part ~node then
-    Placement.remove_secondary t.placement ~part ~node
+  if Placement.has_secondary t.placement ~part ~node then (
+    Placement.remove_secondary t.placement ~part ~node;
+    Replication.forget_applied t.replication ~part ~node)
 
 let alive t n = t.node_alive.(n)
 
@@ -179,12 +204,14 @@ let availability t =
 let fail_node t node =
   if t.node_alive.(node) then (
     Log.warn (fun m -> m "node %d failed at t=%.0fus" node (now t));
+    Option.iter (fun tr -> Trace.instant ~node ~ts:(now t) tr "crash") t.tracer;
     t.node_alive.(node) <- false;
     Fault.mark_down t.fault node;
     let parts = Placement.partitions t.placement in
     for part = 0 to parts - 1 do
       if Placement.has_secondary t.placement ~part ~node then (
         Placement.remove_secondary t.placement ~part ~node;
+        Replication.forget_applied t.replication ~part ~node;
         (* This may have been the last live copy of a partition whose
            primary died earlier (cascading failure): park it until a
            replica holder recovers. *)
@@ -209,22 +236,39 @@ let fail_node t node =
         | _ :: _ ->
             block_partition t part (now t +. t.cfg.Config.election_delay);
             Engine.schedule t.engine ~delay:t.cfg.Config.election_delay (fun () ->
-                match
-                  List.filter
-                    (fun n -> t.node_alive.(n))
-                    (Placement.secondaries t.placement part)
-                with
+                (match
+                   List.filter
+                     (fun n -> t.node_alive.(n))
+                     (Placement.secondaries t.placement part)
+                 with
                 | winner :: _ when Placement.primary t.placement part = node ->
                     Placement.remaster t.placement ~part ~node:winner;
-                    (* [Placement.remaster] demoted the dead primary to a
-                       secondary; purge that phantom copy. *)
-                    Placement.remove_secondary t.placement ~part ~node
-                | _ -> ()))
+                    (* Election includes catching the winner up from the
+                       surviving quorum's logs. *)
+                    Replication.set_applied t.replication ~part ~node:winner
+                      ~upto:(Replication.appends t.replication ~part);
+                    Option.iter
+                      (fun tr -> Trace.instant ~node:winner ~ts:(now t) tr "election")
+                      t.tracer
+                | _ -> ());
+                (* Whether the election above promoted a winner or a
+                   planner moved mastership on its own before the timer
+                   fired (batch-mode claims apply [Placement.remaster]
+                   directly), the dead primary has been demoted to a
+                   secondary: purge that phantom copy so it cannot
+                   rejoin as a stale replica on recovery. *)
+                if
+                  (not t.node_alive.(node))
+                  && Placement.has_secondary t.placement ~part ~node
+                then (
+                  Placement.remove_secondary t.placement ~part ~node;
+                  Replication.forget_applied t.replication ~part ~node)))
     done)
 
 let recover_node t node =
   if not t.node_alive.(node) then (
     Log.info (fun m -> m "node %d recovered at t=%.0fus" node (now t));
+    Option.iter (fun tr -> Trace.instant ~node ~ts:(now t) tr "recover") t.tracer;
     t.node_alive.(node) <- true;
     Fault.mark_up t.fault node;
     let parts = Placement.partitions t.placement in
@@ -248,6 +292,9 @@ let recover_node t node =
         (match peer with
         | Some src -> Network.send t.network ~src ~dst:node ~bytes:lag_bytes (fun () -> ())
         | None -> Network.charge t.network ~bytes:lag_bytes);
+        (* The resync brings the rejoining primary's log current. *)
+        Replication.set_applied t.replication ~part ~node
+          ~upto:(Replication.appends t.replication ~part);
         t.part_available.(part) <-
           now t +. t.cfg.Config.election_delay
           +. Network.oneway_delay t.network ~bytes:lag_bytes
@@ -322,11 +369,59 @@ let rpc t ?(on_fail = fun () -> ()) ?ctx ~src ~dst ~bytes ~work k =
 let acquire_worker t ~node k = Server.acquire t.workers.(node) k
 let release_worker t ~node lease = Server.release t.workers.(node) lease
 
+(* Anti-entropy repair: a log ship that exhausted its retries (long
+   partition, dead link) leaves the replica's applied watermark behind
+   the authoritative log. The loop re-ships the missing suffix from a
+   live replica until the target catches up, loses the replica, or
+   dies; each round backs off by two RPC timeouts, bounded by [tries]
+   so a permanently unreachable replica cannot keep the event queue
+   alive forever. It is only ever started after a ship actually failed,
+   so healthy runs schedule nothing and stay bit-for-bit identical. *)
+let rec resync_replica t ~part ~node ~tries =
+  let stop () = Hashtbl.remove t.resync_inflight (part, node) in
+  let goal = Replication.appends t.replication ~part in
+  if
+    (not t.node_alive.(node))
+    || (not (Placement.has_replica t.placement ~part ~node))
+    || Replication.applied t.replication ~part ~node >= goal
+    || tries <= 0
+  then stop ()
+  else
+    let retry () =
+      Engine.schedule t.engine ~delay:(2.0 *. t.cfg.Config.rpc_timeout) (fun () ->
+          resync_replica t ~part ~node ~tries:(tries - 1))
+    in
+    let live_source =
+      List.find_opt
+        (fun n -> n <> node && t.node_alive.(n))
+        (Placement.primary t.placement part :: Placement.secondaries t.placement part)
+    in
+    match live_source with
+    | None -> retry () (* every other replica is down: wait for a recovery *)
+    | Some src ->
+        let cur = Replication.applied t.replication ~part ~node in
+        let bytes = Stdlib.max 256 ((goal - cur) * t.cfg.Config.record_bytes) in
+        Network.send t.network ~src ~dst:node ~bytes ~on_drop:retry (fun () ->
+            Replication.set_applied t.replication ~part ~node ~upto:goal;
+            t.resync_count <- t.resync_count + 1;
+            (* More records may have landed while the suffix was in
+               flight: chase the tail before declaring victory. *)
+            resync_replica t ~part ~node ~tries)
+
+let start_resync t ~part ~node =
+  if not (Hashtbl.mem t.resync_inflight (part, node)) then (
+    Hashtbl.add t.resync_inflight (part, node) ();
+    Engine.schedule t.engine ~delay:(2.0 *. t.cfg.Config.rpc_timeout) (fun () ->
+        resync_replica t ~part ~node ~tries:64))
+
 let replicate_commit t ?ctx parts =
   List.iter
     (fun p ->
       Replication.append t.replication ~part:p;
+      let len = Replication.appends t.replication ~part:p in
       let src = Placement.primary t.placement p in
+      (* The primary's own copy applies the record at commit time. *)
+      Replication.set_applied t.replication ~part:p ~node:src ~upto:len;
       List.iter
         (fun dst ->
           (* The asynchronous log ship gets its own span (phase
@@ -357,14 +452,33 @@ let replicate_commit t ?ctx parts =
                 else (
                   Metrics.record_timeout t.metrics;
                   Trace.note ~ts:(now t) "timeout" rctx;
-                  Trace.finish ~ts:(now t) rctx))
-              (fun () -> Trace.finish ~ts:(now t) rctx)
+                  Trace.finish ~ts:(now t) rctx;
+                  (* The replica missed this record for good on the
+                     shipping path: hand it to anti-entropy. *)
+                  start_resync t ~part:p ~node:dst))
+              (fun () ->
+                (* The stream is cumulative: delivering the record at
+                   index [len] implies everything before it arrived (or
+                   was re-shipped) too. *)
+                Replication.set_applied t.replication ~part:p ~node:dst ~upto:len;
+                Trace.finish ~ts:(now t) rctx)
           in
           ship 0)
         (Placement.secondaries t.placement p))
     parts
 
-let create ?(seed = 1) ?tracer cfg =
+(* Applied-watermark bookkeeping for layers that move replicas through
+   [Placement] directly (the Leap migrate path, batch-mode remasters):
+   a copy installed by such a transfer is current as of the transfer. *)
+let note_replica_synced t ~part ~node =
+  if Placement.has_replica t.placement ~part ~node then
+    Replication.set_applied t.replication ~part ~node
+      ~upto:(Replication.appends t.replication ~part)
+
+let note_replica_dropped t ~part ~node =
+  Replication.forget_applied t.replication ~part ~node
+
+let create ?(seed = 1) ?tracer ?history cfg =
   let engine = Engine.create () in
   let metrics = Metrics.create ~seed engine in
   let fault = Fault.create ~seed ~nodes:cfg.Config.nodes cfg.Config.fault_plan in
@@ -392,6 +506,7 @@ let create ?(seed = 1) ?tracer cfg =
             Server.create engine ~capacity:cfg.Config.workers_per_node);
       services = Array.init cfg.Config.nodes (fun _ -> Server.create engine ~capacity:2);
       tracer;
+      history;
       rng = Rng.create seed;
       part_available = Array.make parts 0.0;
       part_access = Array.make parts 0.0;
@@ -401,6 +516,8 @@ let create ?(seed = 1) ?tracer cfg =
       replica_add_count = 0;
       migration_count = 0;
       remaster_inflight = Array.make parts false;
+      resync_inflight = Hashtbl.create 64;
+      resync_count = 0;
     }
   in
   (* Crash/recover events from the fault plan drive the same failover
@@ -412,4 +529,27 @@ let create ?(seed = 1) ?tracer cfg =
           | `Crash n -> fail_node t n
           | `Recover n -> recover_node t n))
     (Fault.crash_events cfg.Config.fault_plan);
+  (* Static fault windows become trace instants up front: instants are
+     pure recorded data (no engine events), so tracing a faulty run
+     perturbs nothing. Crash/recover instants are emitted by
+     [fail_node]/[recover_node] when they actually happen. *)
+  Option.iter
+    (fun tr ->
+      List.iter
+        (function
+          | Fault.Crash _ -> ()
+          | Fault.Partition { from_; until; _ } ->
+              Trace.instant ~ts:from_ tr "partition-start";
+              Trace.instant ~ts:until tr "partition-heal"
+          | Fault.Drop { from_; until; _ } ->
+              Trace.instant ~ts:from_ tr "drop-start";
+              Trace.instant ~ts:until tr "drop-end"
+          | Fault.Jitter { from_; until; _ } ->
+              Trace.instant ~ts:from_ tr "jitter-start";
+              Trace.instant ~ts:until tr "jitter-end"
+          | Fault.Straggler { node; from_; until; _ } ->
+              Trace.instant ~node ~ts:from_ tr "straggler-start";
+              Trace.instant ~node ~ts:until tr "straggler-end")
+        cfg.Config.fault_plan)
+    tracer;
   t

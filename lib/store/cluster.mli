@@ -27,6 +27,10 @@ type t = {
       (** causal transaction tracer; [None] (the default) disables
           tracing entirely — protocols then thread [None] contexts and
           every instrumentation point is a no-op *)
+  history : History.t option;
+      (** consistency-audit history sink; [None] (the default) disables
+          recording — the protocol engines then skip every recording
+          point, leaving runs bit-for-bit unchanged *)
   rng : Lion_kernel.Rng.t;
   part_available : float array;
       (** per-partition time before which operations block (remaster
@@ -43,9 +47,14 @@ type t = {
       (** per-partition flag to serialise concurrent remaster attempts
           (the paper's remastering-conflict rule: one wins, others fall
           back to 2PC) *)
+  resync_inflight : (int * int, unit) Hashtbl.t;
+      (** (part, node) pairs with an anti-entropy repair in progress *)
+  mutable resync_count : int;
+      (** completed anti-entropy suffix ships (see [replicate_commit]) *)
 }
 
-val create : ?seed:int -> ?tracer:Lion_trace.Trace.t -> Config.t -> t
+val create :
+  ?seed:int -> ?tracer:Lion_trace.Trace.t -> ?history:History.t -> Config.t -> t
 
 val now : t -> float
 val node_count : t -> int
@@ -94,6 +103,16 @@ val add_replica : t -> part:int -> node:int -> on_ready:(unit -> unit) -> unit
     replica, fires [on_ready] immediately. Never blocks transactions. *)
 
 val remove_replica : t -> part:int -> node:int -> unit
+
+val note_replica_synced : t -> part:int -> node:int -> unit
+(** Stamp a replica's applied watermark to the current log length — for
+    layers that install or refresh copies through [Placement] directly
+    (the migration path, batch-mode remasters) rather than via
+    [add_replica]/[try_begin_remaster], which stamp it themselves. *)
+
+val note_replica_dropped : t -> part:int -> node:int -> unit
+(** Forget a replica's applied watermark after dropping the copy
+    through [Placement] directly. *)
 
 val alive : t -> int -> bool
 (** Liveness of a node (true until [fail_node]). *)
@@ -176,5 +195,9 @@ val replicate_commit : t -> ?ctx:Lion_trace.Trace.ctx -> int list -> unit
     for a commit touching [parts]: one log record per secondary replica. Group-commit batching
     is modelled by the per-byte cost only (no blocking). Lost log
     records are retransmitted with the RPC backoff schedule (the stream
-    is idempotent); exhausting the retries records a timeout. [ctx]
-    traces each log ship as an async "replication" span. *)
+    is idempotent); exhausting the retries records a timeout and starts
+    an anti-entropy repair that re-ships the replica's missing log
+    suffix from a live peer (with backoff, bounded retries) until its
+    applied watermark catches the log — so a long partition cannot
+    leave a secondary permanently diverged. [ctx] traces each log ship
+    as an async "replication" span. *)

@@ -40,6 +40,7 @@ let write s k =
   s.writes <- k :: s.writes
 
 let read_set s = List.rev_map fst s.reads
+let observed_reads s = List.rev s.reads
 let write_set s = List.rev s.writes
 
 let validate s = List.for_all (fun (k, v) -> version s.store k = v) s.reads

@@ -41,6 +41,11 @@ val write : session -> key -> unit
 (** Record a read-modify-write of [key]. *)
 
 val read_set : session -> key list
+
+val observed_reads : session -> (key * int) list
+(** Every recorded read with the version it observed, in access order
+    (writes appear too — they are read-modify-writes). *)
+
 val write_set : session -> key list
 
 val validate : session -> bool

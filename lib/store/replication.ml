@@ -8,6 +8,10 @@ type t = {
   logs : Timeseries.t array; (* appends bucketed by epoch *)
   totals : int array;
   mutable grand_total : int;
+  (* Per-replica apply progress: (partition, node) -> index of the last
+     log record the replica has applied. The authoritative length is
+     [totals]; the divergence audit compares the two at quiescence. *)
+  applied_tbl : (int * int, int) Hashtbl.t;
 }
 
 let create ?sync_delay ~interval ~partitions engine =
@@ -19,6 +23,7 @@ let create ?sync_delay ~interval ~partitions engine =
     logs = Array.init partitions (fun _ -> Timeseries.create ~interval);
     totals = Array.make partitions 0;
     grand_total = 0;
+    applied_tbl = Hashtbl.create 256;
   }
 
 let append t ~part =
@@ -36,3 +41,13 @@ let lag t ~part =
 
 let total_appends t = t.grand_total
 let sync_delay t = t.sync_delay
+
+let applied t ~part ~node =
+  match Hashtbl.find_opt t.applied_tbl (part, node) with
+  | Some i -> i
+  | None -> 0
+
+let set_applied t ~part ~node ~upto =
+  if upto > applied t ~part ~node then Hashtbl.replace t.applied_tbl (part, node) upto
+
+let forget_applied t ~part ~node = Hashtbl.remove t.applied_tbl (part, node)

@@ -28,3 +28,22 @@ val lag : t -> part:int -> int
 
 val total_appends : t -> int
 val sync_delay : t -> float
+
+(** {2 Per-replica apply progress}
+
+    The cluster stamps how far each replica of a partition has applied
+    the log: log-ship deliveries, remaster transfers, failover
+    elections, replica installs and recovery resyncs all advance it.
+    At quiescence every live replica must have applied the full log —
+    that is exactly what {!Lion_audit.Divergence} verifies. *)
+
+val applied : t -> part:int -> node:int -> int
+(** Last log index [node] has applied for [part] (0 if never stamped —
+    the initial placement starts with empty logs). *)
+
+val set_applied : t -> part:int -> node:int -> upto:int -> unit
+(** Advance the replica's apply watermark (monotonic: lower values are
+    ignored, so late-arriving ships cannot rewind it). *)
+
+val forget_applied : t -> part:int -> node:int -> unit
+(** Drop the watermark — the node no longer holds this replica. *)

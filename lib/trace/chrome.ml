@@ -42,7 +42,7 @@ let emit_trace buf ~first (data : Trace.trace) =
         (List.rev s.Trace.notes))
     spans
 
-let to_json ?(label = "lion") traces =
+let to_json ?(label = "lion") ?(instants = []) traces =
   let traces =
     List.sort (fun a b -> compare a.Trace.trace_id b.Trace.trace_id) traces
   in
@@ -54,6 +54,7 @@ let to_json ?(label = "lion") traces =
         (fun (s : Trace.span) -> Hashtbl.replace nodes s.Trace.node ())
         (Trace.spans_in_order data))
     traces;
+  List.iter (fun (_, node, _) -> Hashtbl.replace nodes node ()) instants;
   let node_list = List.sort compare (Hashtbl.fold (fun n () acc -> n :: acc) nodes []) in
   let buf = Buffer.create 65536 in
   Buffer.add_string buf "{\"traceEvents\":[\n";
@@ -65,6 +66,16 @@ let to_json ?(label = "lion") traces =
         {|{"name":"process_name","ph":"M","pid":%d,"args":{"name":"%s"}}|}
         (pid_of_node node) name)
     node_list;
+  (* Cluster-level fault/lifecycle instants: global scope ("s":"g")
+     draws them as full-height markers across every track, so crashes
+     and partition windows line up visually with the spans they
+     disrupt. *)
+  List.iter
+    (fun (ts, node, name) ->
+      add_event buf ~first
+        {|{"name":"%s","cat":"fault","ph":"i","ts":%.3f,"pid":%d,"tid":0,"s":"g"}|}
+        (escape name) ts (pid_of_node node))
+    instants;
   List.iter
     (fun data ->
       (* One thread-name metadata row per trace so Perfetto labels the
@@ -84,8 +95,8 @@ let to_json ?(label = "lion") traces =
        (escape label) (List.length traces));
   Buffer.contents buf
 
-let write ~path ?label traces =
+let write ~path ?label ?instants traces =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (to_json ?label traces))
+    (fun () -> output_string oc (to_json ?label ?instants traces))

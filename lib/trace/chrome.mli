@@ -15,9 +15,22 @@
     id, fixed float formatting — the same run produces a byte-identical
     file. *)
 
-val to_json : ?label:string -> Trace.trace list -> string
+val to_json :
+  ?label:string ->
+  ?instants:(float * int * string) list ->
+  Trace.trace list ->
+  string
 (** The full JSON document. [label] is stored as trace-level metadata
-    (shown by Perfetto in the process list). *)
+    (shown by Perfetto in the process list). [instants] — cluster
+    lifecycle events as [(ts, node, name)], e.g. {!Trace.instants} —
+    are emitted as global-scope instant markers ("ph":"i", "s":"g")
+    that draw across all tracks, lining fault injections up with the
+    transaction spans they disrupt. *)
 
-val write : path:string -> ?label:string -> Trace.trace list -> unit
+val write :
+  path:string ->
+  ?label:string ->
+  ?instants:(float * int * string) list ->
+  Trace.trace list ->
+  unit
 (** [to_json] straight to a file. *)

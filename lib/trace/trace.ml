@@ -34,6 +34,9 @@ type t = {
      the first evicted. Otherwise insertion order (ascending trace id). *)
   mutable kept : trace list;
   mutable n_kept : int;
+  (* Cluster-level instant events (fault injections, elections…):
+     (ts, node, label), newest first; node -1 = cluster-wide. *)
+  mutable rev_instants : (float * int * string) list;
 }
 
 type ctx = { tracer : t; data : trace; span : span }
@@ -49,6 +52,7 @@ let create ?(policy = Slowest 10) ?(max_keep = 10_000) ?(span_cap = 4096) () =
     next_trace_id = 0;
     kept = [];
     n_kept = 0;
+    rev_instants = [];
   }
 
 let policy t = t.pol
@@ -58,6 +62,13 @@ let finished t = t.n_finished
 
 let retained t =
   List.sort (fun a b -> compare a.trace_id b.trace_id) t.kept
+
+let instant ?(node = -1) ~ts t name = t.rev_instants <- (ts, node, name) :: t.rev_instants
+
+let instants t =
+  List.stable_sort
+    (fun (a, _, _) (b, _, _) -> compare a b)
+    (List.rev t.rev_instants)
 
 let is_open s = s.end_ts = neg_infinity
 let span_duration s = if is_open s then 0.0 else s.end_ts -. s.start_ts

@@ -94,6 +94,16 @@ val finished : t -> int
 val retained : t -> trace list
 (** Kept traces, ascending trace id (deterministic). *)
 
+val instant : ?node:int -> ts:float -> t -> string -> unit
+(** Record a cluster-level instant event — a fault injection, an
+    election, a partition heal — independent of any transaction.
+    [node] is the node concerned, [-1] (the default) for cluster-wide
+    events. Exported as Perfetto instant markers. *)
+
+val instants : t -> (float * int * string) list
+(** All recorded instants as [(ts, node, label)], sorted by timestamp
+    (stable: same-time events keep recording order). *)
+
 val start_txn : t -> ts:float -> txn_id:int -> ctx option
 (** Sampling decision for one transaction. [Some ctx] opens the root
     span (name "txn", phase "scheduling"); [None] means skip. *)

@@ -574,6 +574,35 @@ let test_failed_remaster_keeps_cooldown () =
   Alcotest.(check bool) "cooldown not burned" true
     (Cluster.try_begin_remaster cl ~part:0 ~node:2)
 
+let test_remaster_during_partition () =
+  (* The remaster target is partitioned away from the rest of the
+     cluster mid-transfer: the lag ship is Blocked by the fault layer,
+     so the promotion must not happen (a primary whose log suffix never
+     arrived would serve stale state). When the partition heals the old
+     primary is still the only primary and the cooldown has not been
+     consumed by the failed attempt. *)
+  let cfg =
+    {
+      Config.default with
+      Config.fault_plan =
+        [ Lion_sim.Fault.partition ~groups:[ [ 1 ]; [ 0; 2; 3 ] ] ~from_:0.0 ~until:2_000.0 ];
+    }
+  in
+  let cl = mk_cluster ~cfg () in
+  (* Node 1 is the secondary of partition 0 in the default layout. *)
+  Alcotest.(check bool) "starts" true (Cluster.try_begin_remaster cl ~part:0 ~node:1);
+  Engine.run_until cl.Cluster.engine 3_000.0;
+  Alcotest.(check int) "primary unchanged" 0 (Placement.primary cl.Cluster.placement 0);
+  Alcotest.(check bool) "target still a secondary, not a second primary" true
+    (Placement.has_secondary cl.Cluster.placement ~part:0 ~node:1);
+  Alcotest.(check int) "not counted" 0 cl.Cluster.remaster_count;
+  (* Healed: the retry is admitted immediately — the failed attempt did
+     not burn the partition's remaster cooldown. *)
+  Alcotest.(check bool) "cooldown not burned" true
+    (Cluster.try_begin_remaster cl ~part:0 ~node:1);
+  Engine.run_all cl.Cluster.engine ();
+  Alcotest.(check int) "retry succeeds after heal" 1 (Placement.primary cl.Cluster.placement 0)
+
 let test_election_purges_dead_secondary () =
   let cl = mk_cluster () in
   (* Partition 1: primary node 1, secondary node 2. *)
@@ -746,6 +775,8 @@ let () =
             test_submit_local_dead_node_fails;
           Alcotest.test_case "failed remaster keeps cooldown" `Quick
             test_failed_remaster_keeps_cooldown;
+          Alcotest.test_case "remaster during partition" `Quick
+            test_remaster_during_partition;
           Alcotest.test_case "election purges dead secondary" `Quick
             test_election_purges_dead_secondary;
           Alcotest.test_case "recovery resync charges network" `Quick
