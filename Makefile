@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench chaos audit trace examples clean
+.PHONY: all build test bench chaos audit overload trace examples clean
 
 all: build
 
@@ -25,6 +25,14 @@ chaos:
 audit:
 	dune exec bin/audit_run.exe -- --proto all --nemesis crash --seconds 2
 	dune exec bin/audit_run.exe -- --proto lion --nemesis all --seconds 2
+	dune exec bin/audit_run.exe -- --proto lion --nemesis overload --overload \
+		--seconds 2
+
+# Overload experiments (see docs/OVERLOAD.md): offered-load sweeps for
+# lion/star/twopc through 1.5x capacity (with and without protection)
+# plus the metastable-failure repro; CSVs land in overload/.
+overload:
+	dune exec bin/overload_sweep.exe -- --out overload
 
 # Slow-transaction traces (see docs/TRACING.md): Lion vs 2PC on a
 # skewed, 50%-cross workload; Chrome/Perfetto JSON lands in traces/.
@@ -42,4 +50,4 @@ examples:
 
 clean:
 	dune clean
-	rm -rf traces
+	rm -rf traces overload

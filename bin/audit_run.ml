@@ -57,12 +57,16 @@ let nemeses ~nodes ~seed :
              Nemesis.crash ~node:2 ~downtime:500_000.0 ();
            ]) );
     ("adversarial", Nemesis.adversarial ~seed ~nodes ~events:5 ~window:2_500_000.0 ());
+    ("overload", Nemesis.overload_burst ~node:0 ~duration:1_500_000.0 ());
   ]
 
 let usage ~nodes () =
   Printf.eprintf
     "usage: audit_run [--proto NAME|all] [--nemesis NAME|all] [--seed N]\n\
-    \                 [--seconds F] [--clients N] [--cross F] [--skew F] [-v]\n\
+    \                 [--seconds F] [--clients N] [--cross F] [--skew F]\n\
+    \                 [--overload] [-v]\n\
+     --overload runs with every overload-protection knob on (bounded\n\
+     queues, shedding, retry budgets, breakers, deadlines)\n\
      protocols: all, %s\n\
      nemeses: all, %s\n"
     (String.concat ", " (List.map fst protocols))
@@ -78,8 +82,8 @@ let () =
   let cross = ref 0.4 in
   let skew = ref 0.6 in
   let verbose = ref false in
-  let cfg = Config.default in
-  let nodes = cfg.Config.nodes in
+  let overload = ref false in
+  let nodes = Config.default.Config.nodes in
   let rec parse = function
     | [] -> ()
     | "--proto" :: v :: rest ->
@@ -103,12 +107,19 @@ let () =
     | "--skew" :: v :: rest ->
         skew := float_of_string v;
         parse rest
+    | "--overload" :: rest ->
+        overload := true;
+        parse rest
     | "-v" :: rest | "--verbose" :: rest ->
         verbose := true;
         parse rest
     | _ -> usage ~nodes ()
   in
   parse (List.tl (Array.to_list Sys.argv));
+  let cfg =
+    if !overload then Config.with_overload_defaults Config.default
+    else Config.default
+  in
   let pick all sel =
     if sel = "all" then all
     else

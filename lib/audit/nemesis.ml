@@ -121,6 +121,18 @@ let straggler_on_coordinator ?(node = 0) ?(duration = 2_000_000.0) ?(factor = 16
     (Printf.sprintf "straggler-coordinator-n%d" node)
     (straggler ~duration ~factor ~node ())
 
+(* Overload trigger (docs/OVERLOAD.md): slow the busiest coordinator
+   while the network sheds a slice of messages in the same window —
+   service queues back up, RPC timeouts and retries pile on, and a
+   cluster without retry discipline can sustain the collapse after the
+   window ends. The audit checks that even then no anomaly appears:
+   shedding and fast-failing must lose availability, never safety. *)
+let overload_burst ?(node = 0) ?(duration = 2_000_000.0) ?(factor = 6.0)
+    ?(prob = 0.15) () =
+  rename
+    (Printf.sprintf "overload-burst-n%d" node)
+    (overlay [ straggler ~duration ~factor ~node (); lossy ~duration ~prob () ])
+
 (* {2 Seeded schedule generator} *)
 
 let adversarial ?(events = 6) ?(window = 6_000_000.0) ~seed ~nodes () =

@@ -80,6 +80,14 @@ val straggler_on_coordinator :
     without killing it: transactions keep routing there and pile up
     timeouts. *)
 
+val overload_burst :
+  ?node:int -> ?duration:float -> ?factor:float -> ?prob:float -> unit -> t
+(** Overload trigger (docs/OVERLOAD.md): a straggler (default node 0,
+    6x for 2 s) overlaid with a lossy network ([prob] drop chance,
+    default 0.15) in the same window — the retry-storm recipe. The
+    audit asserts that load shedding, breakers and deadline give-ups
+    cost availability only, never consistency. *)
+
 val adversarial : ?events:int -> ?window:float -> seed:int -> nodes:int -> unit -> t
 (** Seeded schedule generator: [events] (default 6) random fault
     windows — crashes, single-node partitions, stragglers, message

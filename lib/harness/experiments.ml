@@ -934,6 +934,15 @@ let fault_straggler ?(scale = 1.0) () =
 
 (* ------------------------------------------------------------------ *)
 
+let overload_sweep ?(scale = 1.0) () =
+  Overload.print_sweeps (Overload.sweep ~scale ());
+  Overload.print_sweeps (Overload.sweep ~scale ~protect:true ())
+
+let metastable ?(scale = 1.0) () =
+  Overload.print_metastable (Overload.metastable_pair ~scale ())
+
+(* ------------------------------------------------------------------ *)
+
 let registry =
   [
     ("table1", "Table I: qualitative comparison", fun _ -> table1_comparison ());
@@ -980,6 +989,12 @@ let registry =
     ( "fault_straggler",
       "Chaos: slow-node CPU straggler",
       fun s -> fault_straggler ~scale:s () );
+    ( "overload_sweep",
+      "Overload: open-loop offered-load sweep past saturation",
+      fun s -> overload_sweep ~scale:s () );
+    ( "metastable",
+      "Overload: metastable-failure repro, with and without protection",
+      fun s -> metastable ~scale:s () );
   ]
 
 let run_all ?(scale = 1.0) () =

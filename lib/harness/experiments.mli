@@ -76,6 +76,14 @@ val abl_read_secondary : ?scale:float -> unit -> unit
     partition groups from locally-held secondaries (beyond the paper,
     where only primaries serve operations). *)
 
+val overload_sweep : ?scale:float -> unit -> unit
+(** Overload: open-loop offered-load sweep for lion/star/twopc, with
+    and without the protection knobs — see {!Overload}. *)
+
+val metastable : ?scale:float -> unit -> unit
+(** Overload: the metastable-failure reproduction, unprotected vs
+    protected — see {!Overload.metastable}. *)
+
 val registry : (string * string * (float -> unit)) list
 (** (id, description, run-with-scale) for every experiment above. *)
 

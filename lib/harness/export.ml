@@ -49,7 +49,9 @@ let result_rows results =
         Metrics.all_phases
     @ [
         "timeouts"; "retries"; "drops"; "unavail_s"; "time_to_recover_s";
-        "goodput_under_fault";
+        "goodput_under_fault"; "offered_txn_s"; "goodput_txn_s"; "p99_us";
+        "sheds"; "breaker_rejects"; "breaker_opens"; "budget_denials";
+        "deadline_giveups"; "deadline_misses";
       ]
   in
   let row (label, (r : Runner.result)) =
@@ -84,6 +86,15 @@ let result_rows results =
         (if r.Runner.time_to_recover = infinity then "inf"
          else Printf.sprintf "%.1f" r.Runner.time_to_recover);
         Printf.sprintf "%.1f" r.Runner.goodput_under_fault;
+        Printf.sprintf "%.1f" r.Runner.offered;
+        Printf.sprintf "%.1f" r.Runner.goodput;
+        Printf.sprintf "%.1f" r.Runner.p99;
+        string_of_int r.Runner.sheds;
+        string_of_int r.Runner.breaker_rejects;
+        string_of_int r.Runner.breaker_opens;
+        string_of_int r.Runner.budget_denials;
+        string_of_int r.Runner.deadline_giveups;
+        string_of_int r.Runner.deadline_misses;
       ]
   in
   (header, List.map row results)

@@ -14,27 +14,38 @@ let sink : trace_sink option ref = ref None
 let set_trace_sink s = sink := Some s
 let clear_trace_sink () = sink := None
 
+type arrival =
+  | Closed
+  | Poisson of float
+  | Uniform of float
+
 type config = {
   clients : int;
   warmup : float;
   duration : float;
   tick_every : float;
+  arrival : arrival;
 }
 
-let quick = { clients = 0; warmup = 2.0; duration = 6.0; tick_every = 1.0 }
+let quick =
+  { clients = 0; warmup = 2.0; duration = 6.0; tick_every = 1.0; arrival = Closed }
 
 type result = {
   throughput : float;
+  goodput : float;
+  offered : float;
   commits : int;
   aborts : int;
   p50 : float;
   p75 : float;
   p90 : float;
   p95 : float;
+  p99 : float;
   mean_latency : float;
   single_node_ratio : float;
   remaster_ratio : float;
   throughput_series : float array;
+  goodput_series : float array;
   bytes_series : float array;
   bytes_per_txn : float;
   phase_fractions : (Metrics.phase * float) list;
@@ -43,6 +54,12 @@ type result = {
   timeouts : int;
   retries : int;
   drops : int;
+  sheds : int;
+  breaker_rejects : int;
+  breaker_opens : int;
+  budget_denials : int;
+  deadline_giveups : int;
+  deadline_misses : int;
   availability : float array;
   unavail_seconds : float;
   time_to_recover : float;
@@ -95,20 +112,53 @@ let run ?(seed = 1) ?(batch = false) ?(setup = fun _ -> ()) ?tracer ?history
   setup cl;
   let proto = make cl in
   let engine = cl.Cluster.engine in
-  let clients =
-    if rc.clients > 0 then rc.clients
-    else if batch then cfg.Config.batch_size
-    else 2 * Config.total_workers cfg
-  in
-  (* Closed-loop clients. *)
-  let rec client_loop () =
-    let txn = gen ~time:(Engine.now engine) in
-    proto.Proto.submit txn ~on_done:(fun () ->
-        Engine.schedule engine ~delay:0.0 client_loop)
-  in
-  for _ = 1 to clients do
-    client_loop ()
-  done;
+  let measured_arrivals = ref 0 in
+  (match rc.arrival with
+  | Closed ->
+      let clients =
+        if rc.clients > 0 then rc.clients
+        else if batch then cfg.Config.batch_size
+        else 2 * Config.total_workers cfg
+      in
+      (* Closed-loop clients: each submits its next transaction the
+         moment the previous one finishes, so the offered load tracks
+         the system's own pace and can never run away from it. *)
+      let rec client_loop () =
+        let txn = gen ~time:(Engine.now engine) in
+        proto.Proto.submit txn ~on_done:(fun () ->
+            Engine.schedule engine ~delay:0.0 client_loop)
+      in
+      for _ = 1 to clients do
+        client_loop ()
+      done
+  | (Poisson rate | Uniform rate) when rate > 0.0 ->
+      (* Open-loop arrivals: transactions arrive on their own clock,
+         oblivious to completions — the offered load stays fixed even
+         when the system falls behind, which is what exposes overload
+         and metastable behaviour (docs/OVERLOAD.md). A dedicated Rng
+         keeps the arrival process independent of every other seeded
+         stream. *)
+      let arr_rng = Lion_kernel.Rng.create (seed + 0x0a51) in
+      let mean_gap = 1e6 /. rate in
+      let warm_end = Engine.seconds rc.warmup in
+      let horizon = Engine.seconds (rc.warmup +. rc.duration) in
+      let gap () =
+        match rc.arrival with
+        | Uniform _ -> mean_gap
+        | _ ->
+            (* Inverse-CDF exponential; log1p keeps u→0 exact and
+               Rng.float never returns 1.0, so the draw is finite. *)
+            -.mean_gap *. log1p (-.Lion_kernel.Rng.float arr_rng 1.0)
+      in
+      let rec arrive () =
+        if Engine.now engine < horizon then (
+          if Engine.now engine >= warm_end then incr measured_arrivals;
+          let txn = gen ~time:(Engine.now engine) in
+          proto.Proto.submit txn ~on_done:(fun () -> ());
+          Engine.schedule engine ~delay:(gap ()) arrive)
+      in
+      Engine.schedule engine ~delay:(gap ()) arrive
+  | _ -> ());
   (* Periodic protocol tick (planner / load monitor). *)
   let tick_us = Engine.seconds rc.tick_every in
   let rec ticker () =
@@ -142,14 +192,26 @@ let run ?(seed = 1) ?(batch = false) ?(setup = fun _ -> ()) ?tracer ?history
   (match (sink_tracer, !sink) with
   | Some t, Some s -> s.emit t
   | _ -> ());
+  let throughput = float_of_int commits /. rc.duration in
   {
-    throughput = float_of_int commits /. rc.duration;
+    throughput;
+    (* Goodput discounts commits that landed past their deadline: the
+       client had already given up on them. Without a deadline it
+       equals throughput. *)
+    goodput =
+      float_of_int (commits - Metrics.deadline_misses metrics) /. rc.duration;
+    offered =
+      (match rc.arrival with
+      | Closed -> throughput
+      | Poisson _ | Uniform _ ->
+          float_of_int !measured_arrivals /. rc.duration);
     commits;
     aborts = Metrics.aborts metrics;
     p50 = Metrics.latency_percentile metrics 50.0;
     p75 = Metrics.latency_percentile metrics 75.0;
     p90 = Metrics.latency_percentile metrics 90.0;
     p95 = Metrics.latency_percentile metrics 95.0;
+    p99 = Metrics.latency_percentile metrics 99.0;
     mean_latency = Metrics.mean_latency metrics;
     single_node_ratio =
       (if commits = 0 then 0.0
@@ -158,6 +220,7 @@ let run ?(seed = 1) ?(batch = false) ?(setup = fun _ -> ()) ?tracer ?history
       (if commits = 0 then 0.0
        else float_of_int (Metrics.remastered_commits metrics) /. float_of_int commits);
     throughput_series;
+    goodput_series = Metrics.goodput_series metrics;
     bytes_series = Lion_kernel.Timeseries.to_array (Network.bytes_series cl.Cluster.network);
     bytes_per_txn =
       (if commits = 0 then 0.0 else float_of_int bytes_delta /. float_of_int commits);
@@ -168,6 +231,12 @@ let run ?(seed = 1) ?(batch = false) ?(setup = fun _ -> ()) ?tracer ?history
     timeouts = Metrics.timeouts metrics;
     retries = Metrics.retries metrics;
     drops = Metrics.drops metrics;
+    sheds = Metrics.sheds metrics;
+    breaker_rejects = Metrics.breaker_rejects metrics;
+    breaker_opens = Metrics.breaker_opens metrics;
+    budget_denials = Metrics.budget_denials metrics;
+    deadline_giveups = Metrics.deadline_giveups metrics;
+    deadline_misses = Metrics.deadline_misses metrics;
     availability;
     unavail_seconds;
     time_to_recover;

@@ -1,33 +1,58 @@
-(** Experiment runner: builds a cluster, drives a protocol with
-    closed-loop clients over a workload for a span of simulated time,
-    and collects the series and summary statistics every figure needs.
+(** Experiment runner: builds a cluster, drives a protocol over a
+    workload for a span of simulated time, and collects the series and
+    summary statistics every figure needs.
 
-    Standard protocols run with a small client pool (a multiple of the
-    cluster's worker count); batch protocols run saturated with one
-    client per batch slot, as in the paper's benchmarking setup. *)
+    The default drive is closed-loop: a small client pool (a multiple
+    of the cluster's worker count for standard protocols, one client
+    per batch slot for batch protocols, as in the paper's benchmarking
+    setup) where each client submits its next transaction when the
+    previous finishes. [arrival] switches to open-loop driving, where
+    transactions arrive at a configured offered rate regardless of
+    completions — the mode that can push the system past saturation
+    (docs/OVERLOAD.md, EXPERIMENTS.md). *)
+
+type arrival =
+  | Closed  (** closed loop: [clients] concurrent submitters *)
+  | Poisson of float
+      (** open loop, Poisson arrivals at this rate (txns per simulated
+          second); [clients] is ignored *)
+  | Uniform of float
+      (** open loop, deterministic evenly-spaced arrivals at this rate *)
 
 type config = {
   clients : int;  (** closed-loop concurrency; 0 = auto per protocol *)
   warmup : float;  (** simulated seconds excluded from summary stats *)
   duration : float;  (** measured simulated seconds *)
   tick_every : float;  (** planner/monitor tick period, seconds *)
+  arrival : arrival;  (** load drive; [Closed] is the benchmark default *)
 }
 
 val quick : config
-(** warmup 2 s, duration 6 s, tick 1 s — the benchmark default. *)
+(** warmup 2 s, duration 6 s, tick 1 s, closed loop — the benchmark
+    default. *)
 
 type result = {
   throughput : float;  (** commits per measured second *)
+  goodput : float;
+      (** commits that beat [Config.txn_deadline], per measured second
+          (= [throughput] when no deadline is configured) *)
+  offered : float;
+      (** arrivals per measured second under open-loop driving; equals
+          [throughput] under closed loop, where load tracks completion *)
   commits : int;
   aborts : int;
   p50 : float;  (** latency percentiles over the measured window, µs *)
   p75 : float;
   p90 : float;
   p95 : float;
+  p99 : float;
   mean_latency : float;
   single_node_ratio : float;  (** fraction of commits that ran single-node *)
   remaster_ratio : float;
   throughput_series : float array;  (** commits per second, incl. warmup *)
+  goodput_series : float array;
+      (** in-deadline commits per second, incl. warmup — equals
+          [throughput_series] when no transaction deadline is set *)
   bytes_series : float array;  (** network bytes per second, incl. warmup *)
   bytes_per_txn : float;  (** measured-window bytes / commits *)
   phase_fractions : (Lion_sim.Metrics.phase * float) list;
@@ -36,6 +61,18 @@ type result = {
   timeouts : int;  (** RPCs that exhausted their retries (measured window) *)
   retries : int;  (** RPC retransmissions after a loss (measured window) *)
   drops : int;  (** messages killed by the fault layer (measured window) *)
+  sheds : int;
+      (** requests turned away by admission control — bounded queues,
+          CoDel, dead-node drains (measured window) *)
+  breaker_rejects : int;  (** RPCs fast-failed by an open circuit breaker *)
+  breaker_opens : int;  (** circuit-breaker trips (measured window) *)
+  budget_denials : int;
+      (** retransmissions abandoned for lack of retry-budget tokens *)
+  deadline_giveups : int;
+      (** transactions shed past their deadline instead of retried *)
+  deadline_misses : int;
+      (** transactions committed after their deadline (counted in
+          [throughput], discounted from [goodput]) *)
   availability : float array;
       (** per-second availability samples (incl. warmup); see
           [Cluster.availability] *)

@@ -175,7 +175,16 @@ let rec start_epoch st =
             record_history st ~now req v;
             if v.committed || give_up then (
               let latency = now -. req.enqueued in
-              Metrics.record_commit st.cl.Cluster.metrics ~latency
+              (* Batch engines never enforce deadlines (retries are
+                 already bounded by [max_retries]) but the goodput
+                 accounting matches the standard path: a commit past
+                 the client's patience counts out of goodput. *)
+              let late =
+                cfg.Config.txn_deadline > 0.0
+                && latency > cfg.Config.txn_deadline
+              in
+              if late then Metrics.record_deadline_miss st.cl.Cluster.metrics;
+              Metrics.record_commit ~late st.cl.Cluster.metrics ~latency
                 ~single_node:v.single_node ~remastered:v.remastered
                 ~phases:(scale_phases result.phase_split latency);
               emit_stages st req ~t0 ~t1 ~t2 ~t3 ~now;

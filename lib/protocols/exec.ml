@@ -86,7 +86,7 @@ let record_ops session ops =
    tuples) move to the coordinator before the operation executes. *)
 let leap_migration_overhead = 200.0
 
-let attempt ?ctx ?(attempt_no = 1) cl ~coordinator ~txn ~flavor ~k =
+let attempt ?ctx ?(attempt_no = 1) ?deadline cl ~coordinator ~txn ~flavor ~k =
   let cfg = cl.Cluster.cfg in
   let engine = cl.Cluster.engine in
   let placement = cl.Cluster.placement in
@@ -95,7 +95,25 @@ let attempt ?ctx ?(attempt_no = 1) cl ~coordinator ~txn ~flavor ~k =
        the retry loop re-routes to a live coordinator. *)
     k { committed = false; single_node = false; remastered = false; phases = [] }
   else
-  Cluster.acquire_worker cl ~node:coordinator (fun lease ->
+  (* Admission wait gets its own span phase, opened only when the grant
+     cannot be immediate (every worker leased right now) — an unloaded
+     run allocates nothing and traces identically. *)
+  let qctx =
+    if Cluster.worker_saturated cl ~node:coordinator then
+      Trace.child ~node:coordinator ~phase:"queue" ~name:"worker-wait"
+        ~ts:(Engine.now engine) ctx
+    else None
+  in
+  Cluster.acquire_worker cl ~node:coordinator
+    ~on_fail:(fun () ->
+      (* Shed at admission (bounded worker queue, or the coordinator
+         died with this request parked): no lease was granted, so there
+         is nothing to release — report the attempt failed. *)
+      Trace.note ~ts:(Engine.now engine) "shed" qctx;
+      Trace.finish ~ts:(Engine.now engine) qctx;
+      k { committed = false; single_node = false; remastered = false; phases = [] })
+    (fun lease ->
+      Trace.finish ~ts:(Engine.now engine) qctx;
       let session = Kvstore.begin_session cl.Cluster.store in
       (* Consistency-audit hook: one history event per attempt, with the
          versions the session observed and (for commits) the versions
@@ -160,7 +178,7 @@ let attempt ?ctx ?(attempt_no = 1) cl ~coordinator ~txn ~flavor ~k =
                 Trace.child ~node:prim ~part ~phase:"execution"
                   ~name:"exec-remote" ~ts:(Engine.now engine) ctx
               in
-              Cluster.rpc cl ~src:coordinator ~dst:prim
+              Cluster.rpc cl ?deadline ~src:coordinator ~dst:prim
                 ~bytes:(cfg.Config.op_msg_bytes * n_ops)
                 ~work:(local_work +. cfg.Config.msg_handle_cost)
                 ~on_fail:(fun () ->
@@ -401,7 +419,7 @@ let attempt ?ctx ?(attempt_no = 1) cl ~coordinator ~txn ~flavor ~k =
                            that never acknowledges (crashed, partitioned
                            away) learns the outcome on recovery, so an
                            exhausted commit RPC counts as delivered. *)
-                        Cluster.rpc cl ~src:coordinator ~dst:node
+                        Cluster.rpc cl ?deadline ~src:coordinator ~dst:node
                           ~bytes:cfg.Config.op_msg_bytes
                           ~work:cfg.Config.msg_handle_cost ~on_fail:cb
                           ?ctx:cctx cb)
@@ -454,8 +472,9 @@ let attempt ?ctx ?(attempt_no = 1) cl ~coordinator ~txn ~flavor ~k =
             in
             List.iter
               (fun node ->
-                Cluster.rpc cl ~src:coordinator ~dst:node ~bytes:prepare_bytes
-                  ~work:cfg.Config.msg_handle_cost ~on_fail:fail ?ctx:pctx ok)
+                Cluster.rpc cl ?deadline ~src:coordinator ~dst:node
+                  ~bytes:prepare_bytes ~work:cfg.Config.msg_handle_cost
+                  ~on_fail:fail ?ctx:pctx ok)
               participants))
       in
       let sctx =
@@ -477,6 +496,16 @@ let run cl ~route ~flavor txn ~on_done =
     | None -> None
     | Some tracer -> Trace.start_txn tracer ~ts:start ~txn_id:txn.Txn.id
   in
+  (* [deadline] is the client's patience — always measured when set.
+     [enforced] is the protection: only then do RPCs stop retransmitting
+     and aborted attempts stop retrying past it. Keeping the two apart
+     lets the metastable repro measure goodput identically on the
+     unprotected baseline. *)
+  let deadline =
+    if cfg.Config.txn_deadline > 0.0 then Some (start +. cfg.Config.txn_deadline)
+    else None
+  in
+  let enforced = if cfg.Config.deadline_enforce then deadline else None in
   let attempts = ref 0 in
   let rec go () =
     incr attempts;
@@ -489,20 +518,26 @@ let run cl ~route ~flavor txn ~on_done =
             ~name:(Printf.sprintf "attempt %d" !attempts)
             ~ts:(Engine.now engine) octx
     in
-    attempt ?ctx:actx ~attempt_no:!attempts cl ~coordinator ~txn ~flavor ~k:(fun r ->
+    attempt ?ctx:actx ~attempt_no:!attempts ?deadline:enforced cl ~coordinator
+      ~txn ~flavor
+      ~k:(fun r ->
         Trace.finish ~ts:(Engine.now engine) actx;
         if r.committed then (
           let interval = cfg.Config.group_commit_interval in
           let wait = interval -. Float.rem (Engine.now engine) interval in
           let latency = Engine.now engine -. start +. wait in
           let phases = r.phases @ [ (Metrics.Replication, wait) ] in
+          (* Committed but late: it still counts as a commit (throughput)
+             while goodput discounts it — the client gave up waiting. *)
+          let late = deadline <> None && latency > cfg.Config.txn_deadline in
+          if late then Metrics.record_deadline_miss cl.Cluster.metrics;
           let gctx =
             Trace.child ~phase:"replication" ~name:"group-commit-wait"
               ~ts:(Engine.now engine) octx
           in
           Engine.schedule engine ~delay:wait (fun () ->
               Trace.finish ~ts:(Engine.now engine) gctx;
-              Metrics.record_commit cl.Cluster.metrics ~latency
+              Metrics.record_commit ~late cl.Cluster.metrics ~latency
                 ~single_node:r.single_node ~remastered:r.remastered ~phases;
               Trace.finish_txn ~ts:(Engine.now engine) ~ok:true octx);
           on_done ())
@@ -510,11 +545,23 @@ let run cl ~route ~flavor txn ~on_done =
           Trace.note_abort ~ts:(Engine.now engine)
             (match actx with Some _ -> actx | None -> octx);
           Metrics.record_abort cl.Cluster.metrics;
-          let cap = Stdlib.min 8 !attempts in
-          let backoff =
-            (50.0 *. float_of_int (1 lsl cap))
-            +. Rng.float cl.Cluster.rng 50.0
-          in
-          Engine.schedule engine ~delay:(Stdlib.min 2000.0 backoff) go))
+          match enforced with
+          | Some d when Engine.now engine >= d ->
+              (* Deadline propagation, load-shedding half: a transaction
+                 already older than any client would wait for stops
+                 consuming retries — the metastable sustaining loop
+                 (ever-growing population of retrying zombies) is cut
+                 here. *)
+              Metrics.record_deadline_giveup cl.Cluster.metrics;
+              Trace.note ~ts:(Engine.now engine) "deadline-giveup" octx;
+              Trace.finish_txn ~ts:(Engine.now engine) ~ok:false octx;
+              on_done ()
+          | _ ->
+              let cap = Stdlib.min 8 !attempts in
+              let backoff =
+                (50.0 *. float_of_int (1 lsl cap))
+                +. Rng.float cl.Cluster.rng 50.0
+              in
+              Engine.schedule engine ~delay:(Stdlib.min 2000.0 backoff) go))
   in
   go ()

@@ -56,6 +56,7 @@ type result = {
 val attempt :
   ?ctx:Lion_trace.Trace.ctx ->
   ?attempt_no:int ->
+  ?deadline:float ->
   Lion_store.Cluster.t ->
   coordinator:int ->
   txn:Lion_workload.Txn.t ->
@@ -63,7 +64,13 @@ val attempt :
   k:(result -> unit) ->
   unit
 (** One execution attempt. Acquires (and always releases) a coordinator
-    worker; [k] fires at worker release. On commit, the group-commit
+    worker; [k] fires at worker release — or immediately with a failed
+    result if the bounded worker queue sheds the admission request
+    (docs/OVERLOAD.md; never happens with the default unbounded queue).
+    When the grant cannot be immediate, the wait is traced as a
+    "queue"-phase [worker-wait] span. [deadline] (absolute simulated
+    time) is propagated into every RPC the attempt issues: once past
+    it, lost RPCs stop retransmitting. On commit, the group-commit
     visibility delay is {e not} included here — see [run]. [ctx] (one
     attempt's span of a traced transaction) nests setup, per-group
     execution, remaster transfers and the 2PC rounds under it.
@@ -87,6 +94,15 @@ val run :
     commit is recorded at the next group-commit epoch boundary with the
     full latency since first submission; [on_done] fires at coordinator
     worker release so the closed loop stays worker-bound.
+
+    When [Config.txn_deadline] is set (> 0), a transaction that aborts
+    after [start + txn_deadline] is given up rather than retried
+    (recorded as a deadline give-up; [on_done] still fires), and one
+    that commits later than the deadline is recorded as a deadline miss
+    — committed for throughput, discounted from goodput. The deadline
+    also propagates into every RPC so past-deadline retransmissions
+    stop. With the default [txn_deadline = 0] behaviour is unchanged:
+    retry forever.
 
     When the cluster carries a tracer ([Cluster.tracer]), each
     transaction is offered to it: sampled ones get a root span, one

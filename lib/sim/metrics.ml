@@ -32,9 +32,16 @@ type t = {
   phase_time : float array;
   mutable total_latency : float;
   series : Timeseries.t;
+  good_series : Timeseries.t;
   mutable timeouts : int;
   mutable retries : int;
   mutable drops : int;
+  mutable sheds : int;
+  mutable breaker_rejects : int;
+  mutable breaker_opens : int;
+  mutable budget_denials : int;
+  mutable deadline_giveups : int;
+  mutable deadline_misses : int;
   avail_series : Timeseries.t;
 }
 
@@ -49,13 +56,20 @@ let create ?(seed = 42) engine =
     phase_time = Array.make 6 0.0;
     total_latency = 0.0;
     series = Timeseries.create ~interval:(Engine.seconds 1.0);
+    good_series = Timeseries.create ~interval:(Engine.seconds 1.0);
     timeouts = 0;
     retries = 0;
     drops = 0;
+    sheds = 0;
+    breaker_rejects = 0;
+    breaker_opens = 0;
+    budget_denials = 0;
+    deadline_giveups = 0;
+    deadline_misses = 0;
     avail_series = Timeseries.create ~interval:(Engine.seconds 1.0);
   }
 
-let record_commit t ~latency ~single_node ~remastered ~phases =
+let record_commit ?(late = false) t ~latency ~single_node ~remastered ~phases =
   t.commits <- t.commits + 1;
   if single_node then t.single_node <- t.single_node + 1;
   if remastered then t.remastered <- t.remastered + 1;
@@ -64,15 +78,28 @@ let record_commit t ~latency ~single_node ~remastered ~phases =
   List.iter
     (fun (p, d) -> t.phase_time.(phase_index p) <- t.phase_time.(phase_index p) +. d)
     phases;
-  Timeseries.incr t.series ~time:(Engine.now t.engine)
+  Timeseries.incr t.series ~time:(Engine.now t.engine);
+  if not late then Timeseries.incr t.good_series ~time:(Engine.now t.engine)
 
 let record_abort t = t.aborts <- t.aborts + 1
 let record_timeout t = t.timeouts <- t.timeouts + 1
 let record_retry t = t.retries <- t.retries + 1
 let record_drop t = t.drops <- t.drops + 1
+let record_shed t = t.sheds <- t.sheds + 1
+let record_breaker_reject t = t.breaker_rejects <- t.breaker_rejects + 1
+let record_breaker_open t = t.breaker_opens <- t.breaker_opens + 1
+let record_budget_denial t = t.budget_denials <- t.budget_denials + 1
+let record_deadline_giveup t = t.deadline_giveups <- t.deadline_giveups + 1
+let record_deadline_miss t = t.deadline_misses <- t.deadline_misses + 1
 let timeouts t = t.timeouts
 let retries t = t.retries
 let drops t = t.drops
+let sheds t = t.sheds
+let breaker_rejects t = t.breaker_rejects
+let breaker_opens t = t.breaker_opens
+let budget_denials t = t.budget_denials
+let deadline_giveups t = t.deadline_giveups
+let deadline_misses t = t.deadline_misses
 
 let note_availability t ~frac =
   Timeseries.add t.avail_series ~time:(Engine.now t.engine) frac
@@ -87,6 +114,7 @@ let throughput t ~duration =
   if duration <= 0.0 then 0.0 else float_of_int t.commits /. (duration /. 1e6)
 
 let throughput_series t = Timeseries.to_array t.series
+let goodput_series t = Timeseries.to_array t.good_series
 (* An empty window — e.g. right after [reset_window], before any commit
    lands — must read as 0, never NaN or an out-of-bounds access,
    whatever the reservoir's internals do. *)
@@ -111,5 +139,11 @@ let reset_window t =
   t.timeouts <- 0;
   t.retries <- 0;
   t.drops <- 0;
+  t.sheds <- 0;
+  t.breaker_rejects <- 0;
+  t.breaker_opens <- 0;
+  t.budget_denials <- 0;
+  t.deadline_giveups <- 0;
+  t.deadline_misses <- 0;
   Array.fill t.phase_time 0 6 0.0;
   Stats.Reservoir.reset t.latency

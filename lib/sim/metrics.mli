@@ -21,6 +21,7 @@ type t
 val create : ?seed:int -> Engine.t -> t
 
 val record_commit :
+  ?late:bool ->
   t ->
   latency:float ->
   single_node:bool ->
@@ -28,7 +29,10 @@ val record_commit :
   phases:(phase * float) list ->
   unit
 (** Record a committed transaction. [latency] in µs from first submit
-    (including retries) to commit. *)
+    (including retries) to commit. [late] (default false) marks a
+    commit that landed past its client deadline: it still counts in
+    throughput and the latency distribution but is excluded from the
+    goodput series. *)
 
 val record_abort : t -> unit
 (** One abort-and-retry occurrence (the eventual commit is still
@@ -44,9 +48,35 @@ val record_drop : t -> unit
 (** The fault layer killed a message (drop spec, partition, or dead
     endpoint). *)
 
+val record_shed : t -> unit
+(** Admission control turned a request away (bounded queue overflow,
+    CoDel delay bound, or a dead node's drained queue). *)
+
+val record_breaker_reject : t -> unit
+(** A per-destination circuit breaker refused an RPC while open. *)
+
+val record_breaker_open : t -> unit
+(** A circuit breaker tripped open. *)
+
+val record_budget_denial : t -> unit
+(** A retransmission was abandoned because the retry budget was dry. *)
+
+val record_deadline_giveup : t -> unit
+(** A transaction past its deadline was shed instead of retried. *)
+
+val record_deadline_miss : t -> unit
+(** A transaction committed, but only after its deadline — counted out
+    of goodput. *)
+
 val timeouts : t -> int
 val retries : t -> int
 val drops : t -> int
+val sheds : t -> int
+val breaker_rejects : t -> int
+val breaker_opens : t -> int
+val budget_denials : t -> int
+val deadline_giveups : t -> int
+val deadline_misses : t -> int
 
 val note_availability : t -> frac:float -> unit
 (** Record a point-in-time availability sample (0..1) into the
@@ -65,6 +95,10 @@ val throughput : t -> duration:float -> float
 
 val throughput_series : t -> float array
 (** Commits bucketed per simulated second. *)
+
+val goodput_series : t -> float array
+(** In-deadline commits bucketed per simulated second — equals
+    [throughput_series] while no transaction deadline is configured. *)
 
 val latency_percentile : t -> float -> float
 val mean_latency : t -> float

@@ -1,0 +1,128 @@
+(* Overload-control primitives: a deterministic token-bucket rate
+   limiter (retry budgets) and a per-destination circuit breaker.
+   Both are pure state machines driven by the simulated clock — no
+   RNG, no engine events — so wiring them into a run adds nothing to
+   the event schedule and disabled configurations stay bit-for-bit
+   identical to builds that never heard of them. *)
+
+module Token_bucket = struct
+  type t = {
+    rate : float;  (* tokens per microsecond *)
+    burst : float;
+    mutable tokens : float;
+    mutable last_refill : float;
+    mutable taken : int;
+    mutable denied : int;
+  }
+
+  let create ~rate_per_s ~burst =
+    if rate_per_s <= 0.0 then invalid_arg "Token_bucket.create: rate must be > 0";
+    let burst = Stdlib.max 1.0 burst in
+    {
+      rate = rate_per_s /. 1e6;
+      burst;
+      tokens = burst;
+      last_refill = 0.0;
+      taken = 0;
+      denied = 0;
+    }
+
+  let refill t ~now =
+    if now > t.last_refill then (
+      t.tokens <- Stdlib.min t.burst (t.tokens +. ((now -. t.last_refill) *. t.rate));
+      t.last_refill <- now)
+
+  let tokens t ~now =
+    refill t ~now;
+    t.tokens
+
+  let try_take t ~now =
+    refill t ~now;
+    if t.tokens >= 1.0 then (
+      t.tokens <- t.tokens -. 1.0;
+      t.taken <- t.taken + 1;
+      true)
+    else (
+      t.denied <- t.denied + 1;
+      false)
+
+  let taken t = t.taken
+  let denied t = t.denied
+end
+
+module Breaker = struct
+  type state = Closed | Open | Half_open
+
+  type t = {
+    threshold : int;
+    cooldown : float;
+    mutable failures : int;  (* consecutive failures while Closed *)
+    mutable st : state;
+    mutable opened_at : float;
+    mutable probe_inflight : bool;
+    mutable opens : int;
+    mutable rejects : int;
+  }
+
+  let create ~threshold ~cooldown =
+    if threshold <= 0 then invalid_arg "Breaker.create: threshold must be > 0";
+    {
+      threshold;
+      cooldown;
+      failures = 0;
+      st = Closed;
+      opened_at = neg_infinity;
+      probe_inflight = false;
+      opens = 0;
+      rejects = 0;
+    }
+
+  (* Promote Open -> Half_open once the cooldown has elapsed; callers
+     observe the post-promotion state. *)
+  let tick t ~now =
+    if t.st = Open && now -. t.opened_at >= t.cooldown then (
+      t.st <- Half_open;
+      t.probe_inflight <- false)
+
+  let state t ~now =
+    tick t ~now;
+    t.st
+
+  let allow t ~now =
+    tick t ~now;
+    match t.st with
+    | Closed -> true
+    | Open ->
+        t.rejects <- t.rejects + 1;
+        false
+    | Half_open ->
+        if t.probe_inflight then (
+          t.rejects <- t.rejects + 1;
+          false)
+        else (
+          t.probe_inflight <- true;
+          true)
+
+  let record_success t =
+    t.st <- Closed;
+    t.failures <- 0;
+    t.probe_inflight <- false
+
+  let trip t ~now =
+    t.st <- Open;
+    t.opened_at <- now;
+    t.probe_inflight <- false;
+    t.opens <- t.opens + 1
+
+  let record_failure t ~now =
+    tick t ~now;
+    match t.st with
+    | Half_open -> trip t ~now (* the probe failed: back to Open *)
+    | Open -> () (* a straggling in-flight failure; already open *)
+    | Closed ->
+        t.failures <- t.failures + 1;
+        if t.failures >= t.threshold then trip t ~now
+
+  let opens t = t.opens
+  let rejects t = t.rejects
+end

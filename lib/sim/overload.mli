@@ -1,0 +1,66 @@
+(** Overload-control primitives: retry budgets and circuit breakers.
+
+    Both are deterministic state machines over the simulated clock —
+    no RNG, no engine events — so a disabled configuration schedules
+    nothing and stays bit-for-bit identical to a build without them.
+    [Lion_store.Cluster] wraps them around its RPC and log-ship paths
+    (see docs/OVERLOAD.md). *)
+
+module Token_bucket : sig
+  (** A token bucket: [burst] tokens capacity, refilled at
+      [rate_per_s] tokens per simulated second. Used as the global
+      retry budget — each RPC retransmission must take a token, so a
+      brownout cannot amplify into a metastable retry storm. *)
+
+  type t
+
+  val create : rate_per_s:float -> burst:float -> t
+  (** Raises [Invalid_argument] when [rate_per_s <= 0]; [burst] is
+      clamped to at least 1. The bucket starts full. *)
+
+  val try_take : t -> now:float -> bool
+  (** Refill up to [now], then take one token if available. *)
+
+  val tokens : t -> now:float -> float
+  (** Current token count after refilling up to [now]. *)
+
+  val taken : t -> int
+  val denied : t -> int
+end
+
+module Breaker : sig
+  (** A per-destination circuit breaker: [threshold] consecutive
+      failures open it; after [cooldown] µs it half-opens and admits
+      exactly one probe. A probe success closes it, a probe failure
+      re-opens it for another cooldown. *)
+
+  type state = Closed | Open | Half_open
+
+  type t
+
+  val create : threshold:int -> cooldown:float -> t
+  (** Raises [Invalid_argument] when [threshold <= 0]. *)
+
+  val state : t -> now:float -> state
+
+  val allow : t -> now:float -> bool
+  (** May a request be sent now? [Closed]: yes. [Open]: no (counted in
+      [rejects]) until the cooldown elapses, which half-opens it.
+      [Half_open]: yes for the first caller (the probe), no for
+      everyone else until the probe resolves. *)
+
+  val record_success : t -> unit
+  (** A request to this destination completed: close and reset. *)
+
+  val record_failure : t -> now:float -> unit
+  (** A request to this destination failed terminally (retries
+      exhausted, budget denied). Trips the breaker after [threshold]
+      consecutive failures, and immediately when a half-open probe
+      fails. *)
+
+  val opens : t -> int
+  (** Times the breaker tripped open. *)
+
+  val rejects : t -> int
+  (** Requests refused while open (incl. surplus half-open callers). *)
+end

@@ -1,51 +1,173 @@
 type lease = { acquired_at : float; mutable released : bool }
 
+type shed_policy =
+  | Reject_newest
+  | Codel of { target : float; interval : float }
+
+type prio = Normal | High
+
+type waiter = {
+  k : lease -> unit;
+  on_shed : (unit -> unit) option;
+  enq_at : float;
+}
+
 type t = {
   engine : Engine.t;
   cap : int;
+  queue_cap : int; (* 0 = unbounded *)
+  policy : shed_policy;
+  notify_shed : unit -> unit;
   mutable busy : int;
-  waiting : (lease -> unit) Queue.t;
+  waiting : waiter Queue.t;
+  waiting_hi : waiter Queue.t; (* control traffic: never shed by policy *)
   mutable busy_time : float;
   mutable completed : int;
+  mutable window_start : float;
+  mutable alive : bool;
+  mutable sheds : int;
+  mutable queue_wait : float;
+  mutable max_queue : int;
+  (* CoDel bookkeeping: when the head's sojourn first exceeded the
+     target (None while at/under target or the queue is empty). *)
+  mutable above_since : float option;
 }
 
-let create engine ~capacity =
+let create ?(queue_cap = 0) ?(policy = Reject_newest)
+    ?(on_shed = fun () -> ()) engine ~capacity =
   assert (capacity > 0);
-  { engine; cap = capacity; busy = 0; waiting = Queue.create (); busy_time = 0.0; completed = 0 }
+  {
+    engine;
+    cap = capacity;
+    queue_cap;
+    policy;
+    notify_shed = on_shed;
+    busy = 0;
+    waiting = Queue.create ();
+    waiting_hi = Queue.create ();
+    busy_time = 0.0;
+    completed = 0;
+    window_start = Engine.now engine;
+    alive = true;
+    sheds = 0;
+    queue_wait = 0.0;
+    max_queue = 0;
+    above_since = None;
+  }
 
 let capacity t = t.cap
+let alive t = t.alive
 
-let grant t k =
+let shed t w =
+  t.sheds <- t.sheds + 1;
+  t.notify_shed ();
+  match w.on_shed with None -> () | Some f -> f ()
+
+let grant t w =
   t.busy <- t.busy + 1;
-  let lease = { acquired_at = Engine.now t.engine; released = false } in
-  k lease
+  let now = Engine.now t.engine in
+  t.queue_wait <- t.queue_wait +. (now -. w.enq_at);
+  let lease = { acquired_at = now; released = false } in
+  w.k lease
 
-let acquire t k =
-  if t.busy < t.cap then grant t k else Queue.push k t.waiting
+(* Next waiter to grant: control traffic first, then the normal queue
+   filtered through the shed policy. The CoDel-style rule sheds the
+   head once the queue has been continuously above the target sojourn
+   for a full interval — a transient spike drains normally, sustained
+   standing queues get cut. *)
+let rec next_waiter t =
+  match Queue.take_opt t.waiting_hi with
+  | Some w -> Some w
+  | None -> (
+      match Queue.peek_opt t.waiting with
+      | None ->
+          t.above_since <- None;
+          None
+      | Some w -> (
+          let now = Engine.now t.engine in
+          match t.policy with
+          | Codel { target; interval } when now -. w.enq_at > target -> (
+              match t.above_since with
+              | None ->
+                  t.above_since <- Some now;
+                  Queue.take_opt t.waiting
+              | Some since when now -. since >= interval ->
+                  ignore (Queue.pop t.waiting);
+                  shed t w;
+                  next_waiter t
+              | Some _ -> Queue.take_opt t.waiting)
+          | _ ->
+              t.above_since <- None;
+              Queue.take_opt t.waiting))
+
+let acquire t ?(prio = Normal) ?on_shed k =
+  let w = { k; on_shed; enq_at = Engine.now t.engine } in
+  if not t.alive then shed t w
+  else if t.busy < t.cap then grant t w
+  else
+    match prio with
+    | High ->
+        (* Control traffic (remaster, replication repair) outranks user
+           transactions and is never turned away by the queue bound. *)
+        Queue.push w t.waiting_hi
+    | Normal ->
+        if t.queue_cap > 0 && Queue.length t.waiting >= t.queue_cap then
+          shed t w
+        else (
+          Queue.push w t.waiting;
+          let len = Queue.length t.waiting + Queue.length t.waiting_hi in
+          if len > t.max_queue then t.max_queue <- len)
 
 let release t lease =
   if lease.released then invalid_arg "Server.release: lease already released";
   lease.released <- true;
   t.busy <- t.busy - 1;
-  t.busy_time <- t.busy_time +. (Engine.now t.engine -. lease.acquired_at);
+  t.busy_time <-
+    t.busy_time
+    +. (Engine.now t.engine -. Stdlib.max lease.acquired_at t.window_start);
   t.completed <- t.completed + 1;
-  if not (Queue.is_empty t.waiting) then grant t (Queue.pop t.waiting)
+  (* A dead node grants nothing: queued work was drained at [kill],
+     and anything that raced in since is shed on arrival. *)
+  if t.alive then match next_waiter t with None -> () | Some w -> grant t w
 
-let submit t ~work k =
+let submit t ?prio ?on_shed ~work k =
   let work = if work < 0.0 then 0.0 else work in
-  acquire t (fun lease ->
+  acquire t ?prio ?on_shed (fun lease ->
       Engine.schedule t.engine ~delay:work (fun () ->
           release t lease;
           k ()))
 
+let kill t =
+  if t.alive then (
+    t.alive <- false;
+    (* Fail-fast: work parked behind a crashed node must not silently
+       wait for (or worse, execute after) a grant that implies the node
+       is serving. *)
+    let drain q = Queue.iter (fun w -> shed t w) q in
+    drain t.waiting_hi;
+    drain t.waiting;
+    Queue.clear t.waiting_hi;
+    Queue.clear t.waiting;
+    t.above_since <- None)
+
+let revive t = t.alive <- true
+
 let busy t = t.busy
-let queue_length t = Queue.length t.waiting
+let queue_length t = Queue.length t.waiting + Queue.length t.waiting_hi
 let busy_time t = t.busy_time
 let completed t = t.completed
+let sheds t = t.sheds
+let queue_wait t = t.queue_wait
+let max_queue t = t.max_queue
 
 let reset_counters t =
   t.busy_time <- 0.0;
-  t.completed <- 0
+  t.completed <- 0;
+  (* In-flight leases acquired before this reset charge only their
+     post-reset span to the new window (see [release]); without the
+     clamp a long hold straddling the reset would inflate the next
+     window's utilization past 1. *)
+  t.window_start <- Engine.now t.engine
 
 let utilization t ~since ~now =
   let span = (now -. since) *. float_of_int t.cap in

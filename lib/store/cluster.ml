@@ -3,6 +3,7 @@ module Network = Lion_sim.Network
 module Metrics = Lion_sim.Metrics
 module Server = Lion_sim.Server
 module Fault = Lion_sim.Fault
+module Overload = Lion_sim.Overload
 module Rng = Lion_kernel.Rng
 module Trace = Lion_trace.Trace
 
@@ -34,6 +35,8 @@ type t = {
   mutable remaster_inflight : bool array;
   resync_inflight : (int * int, unit) Hashtbl.t;
   mutable resync_count : int;
+  retry_budget : Overload.Token_bucket.t option;
+  breakers : Overload.Breaker.t array;
 }
 
 let now t = Engine.now t.engine
@@ -57,6 +60,59 @@ let block_partition t p until =
   if until > t.part_available.(p) then t.part_available.(p) <- until
 
 let block_partition_for t ~part ~duration = block_partition t part (now t +. duration)
+
+(* ---- Overload controls (docs/OVERLOAD.md). Every helper collapses to
+   a constant when its knob is off, so default runs stay bit-for-bit
+   identical to a build without them. ---- *)
+
+let ctl_prio t = if t.cfg.Config.control_priority then Server.High else Server.Normal
+
+(* One retransmission = one token. Dry bucket: the caller gives up. *)
+let budget_allows t =
+  match t.retry_budget with
+  | None -> true
+  | Some b ->
+      Overload.Token_bucket.try_take b ~now:(now t)
+      ||
+      (Metrics.record_budget_denial t.metrics;
+       false)
+
+let breaker_for t dst =
+  if Array.length t.breakers = 0 then None else Some t.breakers.(dst)
+
+let breaker_allows t dst =
+  match breaker_for t dst with
+  | None -> true
+  | Some b ->
+      Overload.Breaker.allow b ~now:(now t)
+      ||
+      (Metrics.record_breaker_reject t.metrics;
+       false)
+
+let breaker_success t dst =
+  match breaker_for t dst with
+  | None -> ()
+  | Some b -> Overload.Breaker.record_success b
+
+let breaker_failure t dst =
+  match breaker_for t dst with
+  | None -> ()
+  | Some b ->
+      let opens = Overload.Breaker.opens b in
+      Overload.Breaker.record_failure b ~now:(now t);
+      if Overload.Breaker.opens b > opens then Metrics.record_breaker_open t.metrics
+
+let breaker_state t dst =
+  match breaker_for t dst with
+  | None -> Overload.Breaker.Closed
+  | Some b -> Overload.Breaker.state b ~now:(now t)
+
+let worker_saturated t ~node =
+  Server.busy t.workers.(node) >= Server.capacity t.workers.(node)
+
+let total_sheds t =
+  let sum = Array.fold_left (fun acc s -> acc + Server.sheds s) in
+  sum (sum 0 t.workers) t.services
 
 let try_begin_remaster t ~part ~node =
   if not t.node_alive.(node) then false
@@ -163,8 +219,10 @@ let add_replica t ~part ~node ~on_ready =
           (fun () -> ());
         (* Snapshotting on the source and applying on the destination
            consume worker CPU, interfering with transaction processing. *)
-        Server.submit t.workers.(src) ~work:t.cfg.Config.migration_cpu_cost (fun () -> ());
-        Server.submit t.workers.(node) ~work:t.cfg.Config.migration_cpu_cost (fun () -> ());
+        Server.submit t.workers.(src) ~prio:(ctl_prio t)
+          ~work:t.cfg.Config.migration_cpu_cost (fun () -> ());
+        Server.submit t.workers.(node) ~prio:(ctl_prio t)
+          ~work:t.cfg.Config.migration_cpu_cost (fun () -> ());
         t.migration_count <- t.migration_count + 1;
         Engine.schedule t.engine ~delay:t.cfg.Config.replica_add_duration (fun () ->
             if t.node_alive.(node) then (
@@ -207,6 +265,11 @@ let fail_node t node =
     Option.iter (fun tr -> Trace.instant ~node ~ts:(now t) tr "crash") t.tracer;
     t.node_alive.(node) <- false;
     Fault.mark_down t.fault node;
+    (* Fail-fast the admission queues: work parked behind the dead
+       node's workers/messengers is shed now (its [on_shed] fires)
+       instead of executing after a grant from a corpse. *)
+    Server.kill t.workers.(node);
+    Server.kill t.services.(node);
     let parts = Placement.partitions t.placement in
     for part = 0 to parts - 1 do
       if Placement.has_secondary t.placement ~part ~node then (
@@ -271,6 +334,8 @@ let recover_node t node =
     Option.iter (fun tr -> Trace.instant ~node ~ts:(now t) tr "recover") t.tracer;
     t.node_alive.(node) <- true;
     Fault.mark_up t.fault node;
+    Server.revive t.workers.(node);
+    Server.revive t.services.(node);
     let parts = Placement.partitions t.placement in
     (* The log-shipping peer for resynchronisation: any live node can
        serve the tail of the durable log (group-commit makes every
@@ -304,18 +369,27 @@ let recover_node t node =
 let node_load t n = Server.busy_time t.workers.(n)
 let reset_load_counters t = Array.iter Server.reset_counters t.workers
 
-let submit_local t ?(on_fail = fun () -> ()) ~node ~work k =
+let submit_local t ?(on_fail = fun () -> ()) ?prio ~node ~work k =
   if t.node_alive.(node) then
-    Server.submit t.workers.(node) ~work:(work *. work_scale t node) k
+    Server.submit t.workers.(node) ?prio ~on_shed:on_fail
+      ~work:(work *. work_scale t node) k
   else on_fail ()
 
-let rpc t ?(on_fail = fun () -> ()) ?ctx ~src ~dst ~bytes ~work k =
+let rpc t ?(on_fail = fun () -> ()) ?ctx ?deadline ?prio ~src ~dst ~bytes ~work k =
   if src = dst then
     if t.node_alive.(dst) then
-      Server.submit t.services.(dst) ~work:(work *. work_scale t dst) k
+      Server.submit t.services.(dst) ?prio ~on_shed:on_fail
+        ~work:(work *. work_scale t dst) k
     else on_fail ()
+  else if not (breaker_allows t dst) then
+    (* Open breaker: shed the call immediately — no wire traffic, no
+       worker-hold through a doomed timeout. *)
+    on_fail ()
   else
     let retries = t.cfg.Config.rpc_retries in
+    let past_deadline at =
+      match deadline with Some d -> at >= d | None -> false
+    in
     let rec go attempt =
       let t0 = now t in
       (* One span per attempt; retransmissions show up as sibling spans
@@ -330,17 +404,28 @@ let rpc t ?(on_fail = fun () -> ()) ?ctx ~src ~dst ~bytes ~work k =
               ~ts:t0 ctx
       in
       (* The simulator is omniscient: a timeout only ever matters when
-         the request or reply is actually lost, so the timer is created
-         lazily at the moment of loss (healthy runs schedule no extra
-         events — determinism is preserved bit-for-bit). *)
+         the request or reply is actually lost (or shed by the remote
+         admission queue), so the timer is created lazily at the moment
+         of loss (healthy runs schedule no extra events — determinism
+         is preserved bit-for-bit). *)
       let fail_after_timeout () =
         let remaining = Stdlib.max 0.0 (t0 +. t.cfg.Config.rpc_timeout -. now t) in
         Engine.schedule t.engine ~delay:remaining (fun () ->
+            let give_up note =
+              Trace.note ~ts:(now t) note actx;
+              Trace.finish ~ts:(now t) actx;
+              breaker_failure t dst;
+              on_fail ()
+            in
             if attempt >= retries then (
               Metrics.record_timeout t.metrics;
-              Trace.note ~ts:(now t) "timeout" actx;
-              Trace.finish ~ts:(now t) actx;
-              on_fail ())
+              give_up "timeout")
+            else if past_deadline (now t) then (
+              (* Deadline propagation: a transaction already past its
+                 deadline sheds instead of retrying. *)
+              Metrics.record_timeout t.metrics;
+              give_up "deadline")
+            else if not (budget_allows t) then give_up "budget-denied"
             else (
               Metrics.record_retry t.metrics;
               Trace.note ~ts:(now t) "retry" actx;
@@ -357,16 +442,26 @@ let rpc t ?(on_fail = fun () -> ()) ?ctx ~src ~dst ~bytes ~work k =
             | None -> None
             | Some _ -> Trace.child ~name:"service" ~ts:(now t) actx
           in
-          Server.submit t.services.(dst) ~work:(work *. work_scale t dst) (fun () ->
+          Server.submit t.services.(dst) ?prio
+            ~on_shed:(fun () ->
+              (* The overloaded (or dead) receiver shed the request:
+                 the sender can only find out by timing out. *)
+              Trace.note ~ts:(now t) "shed" sctx;
+              Trace.finish ~ts:(now t) sctx;
+              fail_after_timeout ())
+            ~work:(work *. work_scale t dst)
+            (fun () ->
               Trace.finish ~ts:(now t) sctx;
               Network.send t.network ~src:dst ~dst:src ~bytes
                 ~on_drop:fail_after_timeout ?ctx:actx (fun () ->
                   Trace.finish ~ts:(now t) actx;
+                  breaker_success t dst;
                   k ())))
     in
     go 0
 
-let acquire_worker t ~node k = Server.acquire t.workers.(node) k
+let acquire_worker t ?on_fail ~node k =
+  Server.acquire t.workers.(node) ?on_shed:on_fail k
 let release_worker t ~node lease = Server.release t.workers.(node) lease
 
 (* Anti-entropy repair: a log ship that exhausted its retries (long
@@ -437,33 +532,44 @@ let replicate_commit t ?ctx parts =
           in
           (* Log shipping retries on loss like an RPC, but needs no
              reply: the group-commit stream is idempotent, so the only
-             cost of a loss is the retransmission. *)
+             cost of a loss is the retransmission. Retransmissions draw
+             on the same retry budget as RPCs, and a destination whose
+             breaker is open is handed straight to anti-entropy — the
+             resync loop ships the whole missing suffix later, which is
+             cheaper than feeding a black hole one record at a time. *)
+          let give_up note =
+            Metrics.record_timeout t.metrics;
+            Trace.note ~ts:(now t) note rctx;
+            Trace.finish ~ts:(now t) rctx;
+            breaker_failure t dst;
+            start_resync t ~part:p ~node:dst
+          in
           let rec ship attempt =
             Network.send t.network ~src ~dst ~bytes:t.cfg.Config.record_bytes
               ~on_drop:(fun () ->
-                if attempt < t.cfg.Config.rpc_retries then (
+                if attempt >= t.cfg.Config.rpc_retries then give_up "timeout"
+                else if not (budget_allows t) then give_up "budget-denied"
+                else (
                   Metrics.record_retry t.metrics;
                   Trace.note ~ts:(now t) "retry" rctx;
                   let backoff =
                     t.cfg.Config.rpc_backoff *. float_of_int (1 lsl attempt)
                   in
                   Engine.schedule t.engine ~delay:backoff (fun () ->
-                      ship (attempt + 1)))
-                else (
-                  Metrics.record_timeout t.metrics;
-                  Trace.note ~ts:(now t) "timeout" rctx;
-                  Trace.finish ~ts:(now t) rctx;
-                  (* The replica missed this record for good on the
-                     shipping path: hand it to anti-entropy. *)
-                  start_resync t ~part:p ~node:dst))
+                      ship (attempt + 1))))
               (fun () ->
                 (* The stream is cumulative: delivering the record at
                    index [len] implies everything before it arrived (or
                    was re-shipped) too. *)
                 Replication.set_applied t.replication ~part:p ~node:dst ~upto:len;
-                Trace.finish ~ts:(now t) rctx)
+                Trace.finish ~ts:(now t) rctx;
+                breaker_success t dst)
           in
-          ship 0)
+          if breaker_allows t dst then ship 0
+          else (
+            Trace.note ~ts:(now t) "breaker-open" rctx;
+            Trace.finish ~ts:(now t) rctx;
+            start_resync t ~part:p ~node:dst))
         (Placement.secondaries t.placement p))
     parts
 
@@ -503,8 +609,16 @@ let create ?(seed = 1) ?tracer ?history cfg =
           engine;
       workers =
         Array.init cfg.Config.nodes (fun _ ->
-            Server.create engine ~capacity:cfg.Config.workers_per_node);
-      services = Array.init cfg.Config.nodes (fun _ -> Server.create engine ~capacity:2);
+            Server.create ~queue_cap:cfg.Config.queue_cap
+              ~policy:cfg.Config.shed_policy
+              ~on_shed:(fun () -> Metrics.record_shed metrics)
+              engine ~capacity:cfg.Config.workers_per_node);
+      services =
+        Array.init cfg.Config.nodes (fun _ ->
+            Server.create ~queue_cap:cfg.Config.queue_cap
+              ~policy:cfg.Config.shed_policy
+              ~on_shed:(fun () -> Metrics.record_shed metrics)
+              engine ~capacity:2);
       tracer;
       history;
       rng = Rng.create seed;
@@ -518,6 +632,18 @@ let create ?(seed = 1) ?tracer ?history cfg =
       remaster_inflight = Array.make parts false;
       resync_inflight = Hashtbl.create 64;
       resync_count = 0;
+      retry_budget =
+        (if cfg.Config.retry_budget_rate > 0.0 then
+           Some
+             (Overload.Token_bucket.create ~rate_per_s:cfg.Config.retry_budget_rate
+                ~burst:cfg.Config.retry_budget_burst)
+         else None);
+      breakers =
+        (if cfg.Config.breaker_threshold > 0 then
+           Array.init cfg.Config.nodes (fun _ ->
+               Overload.Breaker.create ~threshold:cfg.Config.breaker_threshold
+                 ~cooldown:cfg.Config.breaker_cooldown)
+         else [||]);
     }
   in
   (* Crash/recover events from the fault plan drive the same failover

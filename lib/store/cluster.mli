@@ -51,6 +51,13 @@ type t = {
       (** (part, node) pairs with an anti-entropy repair in progress *)
   mutable resync_count : int;
       (** completed anti-entropy suffix ships (see [replicate_commit]) *)
+  retry_budget : Lion_sim.Overload.Token_bucket.t option;
+      (** global token bucket drawn on by every RPC / log-ship
+          retransmission; [None] (default, [Config.retry_budget_rate]
+          = 0) leaves retries unlimited *)
+  breakers : Lion_sim.Overload.Breaker.t array;
+      (** per-destination circuit breakers indexed by node; [[||]]
+          (default, [Config.breaker_threshold] = 0) disables them *)
 }
 
 val create :
@@ -150,6 +157,19 @@ val recover_node : t -> int -> unit
     rule as [try_begin_remaster]) and the partition reopens after
     [cfg.election_delay] plus the shipping delay. *)
 
+val worker_saturated : t -> node:int -> bool
+(** True when every worker on [node] is leased right now — a fresh
+    [acquire_worker] would queue. The executor uses this to decide
+    whether a queue-wait span is worth opening. *)
+
+val breaker_state : t -> int -> Lion_sim.Overload.Breaker.state
+(** Current breaker state for RPCs to a node ([Closed] when breakers
+    are disabled). *)
+
+val total_sheds : t -> int
+(** Lifetime sum of requests shed by every worker and messenger queue
+    in the cluster (never reset). *)
+
 val node_load : t -> int -> float
 (** Busy-time of the node's worker pool since the last counter reset —
     Clay's overload signal and our load-balance measurements. *)
@@ -157,36 +177,55 @@ val node_load : t -> int -> float
 val reset_load_counters : t -> unit
 
 val submit_local :
-  t -> ?on_fail:(unit -> unit) -> node:int -> work:float -> (unit -> unit) -> unit
+  t ->
+  ?on_fail:(unit -> unit) ->
+  ?prio:Lion_sim.Server.prio ->
+  node:int -> work:float -> (unit -> unit) -> unit
 (** Run [work] µs (stretched by [work_scale]) on one of [node]'s
-    workers, then the continuation. A dead node refuses new work:
-    [on_fail] (default: ignore) fires immediately instead. *)
+    workers, then the continuation. A dead node refuses new work, as
+    does a full bounded worker queue: [on_fail] (default: ignore) fires
+    immediately instead. [prio] sets the admission class. *)
 
 val rpc :
   t ->
   ?on_fail:(unit -> unit) ->
   ?ctx:Lion_trace.Trace.ctx ->
+  ?deadline:float ->
+  ?prio:Lion_sim.Server.prio ->
   src:int -> dst:int -> bytes:int -> work:float -> (unit -> unit) -> unit
 (** Round trip: request message, [work] µs of service on [dst]'s
     messenger pool (stretched by [dst]'s [work_scale]), reply message;
     continuation fires at reply arrival. Local calls skip the wire but
     still consume [work]. If the request or reply is lost (fault layer:
-    drop, partition, dead endpoint), the sender times out
-    [cfg.rpc_timeout] µs after the attempt began and retransmits with
-    exponential backoff ([cfg.rpc_backoff] doubling per attempt), up to
-    [cfg.rpc_retries] retries; exhausting them records a timeout and
-    fires [on_fail] (default: ignore). A retransmission may re-execute
-    [work] on [dst] — modelled services are idempotent. Timers are
-    created lazily at the moment of loss, so healthy runs schedule no
-    extra events and stay bit-for-bit deterministic.
+    drop, partition, dead endpoint) or shed by [dst]'s admission queue,
+    the sender times out [cfg.rpc_timeout] µs after the attempt began
+    and retransmits with exponential backoff ([cfg.rpc_backoff]
+    doubling per attempt), up to [cfg.rpc_retries] retries; exhausting
+    them records a timeout and fires [on_fail] (default: ignore). A
+    retransmission may re-execute [work] on [dst] — modelled services
+    are idempotent. Timers are created lazily at the moment of loss, so
+    healthy runs schedule no extra events and stay bit-for-bit
+    deterministic.
+
+    Overload controls (each off by default — docs/OVERLOAD.md):
+    a retransmission is abandoned (and [on_fail] fires) once [deadline]
+    — an absolute simulated time — has passed, or when the cluster
+    retry budget is dry. When breakers are configured, a remote call to
+    a destination whose breaker is open fails fast (no wire traffic);
+    terminal failures feed the breaker, delivered replies reset it.
+    [prio] sets the admission class on [dst]'s messenger queue.
 
     [ctx] traces the call: one child span per attempt (wire, remote
     service time and reply each nested under it), with "retry" /
-    "timeout" annotations — see {!Lion_trace.Trace}. *)
+    "timeout" / "deadline" / "budget-denied" / "shed" annotations — see
+    {!Lion_trace.Trace}. *)
 
-val acquire_worker : t -> node:int -> (Lion_sim.Server.lease -> unit) -> unit
+val acquire_worker :
+  t -> ?on_fail:(unit -> unit) -> node:int -> (Lion_sim.Server.lease -> unit) -> unit
 (** Hold one of [node]'s workers (a transaction coordinator's thread)
-    until [release_worker]. *)
+    until [release_worker]. With a bounded worker queue, [on_fail]
+    (default: ignore — old behaviour, waits forever) fires if the
+    request is shed instead of granted. *)
 
 val release_worker : t -> node:int -> Lion_sim.Server.lease -> unit
 
@@ -199,5 +238,7 @@ val replicate_commit : t -> ?ctx:Lion_trace.Trace.ctx -> int list -> unit
     an anti-entropy repair that re-ships the replica's missing log
     suffix from a live peer (with backoff, bounded retries) until its
     applied watermark catches the log — so a long partition cannot
-    leave a secondary permanently diverged. [ctx] traces each log ship
-    as an async "replication" span. *)
+    leave a secondary permanently diverged. Retransmissions draw on the
+    cluster retry budget, and a destination with an open breaker skips
+    the per-record stream entirely in favour of anti-entropy. [ctx]
+    traces each log ship as an async "replication" span. *)

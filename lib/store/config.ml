@@ -24,6 +24,15 @@ type t = {
   rpc_retries : int;
   rpc_backoff : float;
   fault_plan : Lion_sim.Fault.plan;
+  queue_cap : int;
+  shed_policy : Lion_sim.Server.shed_policy;
+  control_priority : bool;
+  retry_budget_rate : float;
+  retry_budget_burst : float;
+  breaker_threshold : int;
+  breaker_cooldown : float;
+  txn_deadline : float;
+  deadline_enforce : bool;
 }
 
 let default =
@@ -53,6 +62,33 @@ let default =
     rpc_retries = 3;
     rpc_backoff = 200.0;
     fault_plan = Lion_sim.Fault.none;
+    queue_cap = 0;
+    shed_policy = Lion_sim.Server.Reject_newest;
+    control_priority = false;
+    retry_budget_rate = 0.0;
+    retry_budget_burst = 32.0;
+    breaker_threshold = 0;
+    breaker_cooldown = 50_000.0;
+    txn_deadline = 0.0;
+    deadline_enforce = true;
+  }
+
+(* The graceful-degradation preset (docs/OVERLOAD.md): bounded queues
+   with reject-newest shedding, control traffic ahead of user work, a
+   global retry budget, per-destination breakers and a transaction
+   deadline. Every value is a starting point — the overload experiments
+   sweep around them. *)
+let with_overload_defaults t =
+  {
+    t with
+    queue_cap = 64;
+    shed_policy = Lion_sim.Server.Reject_newest;
+    control_priority = true;
+    retry_budget_rate = 2_000.0;
+    retry_budget_burst = 64.0;
+    breaker_threshold = 8;
+    breaker_cooldown = 50_000.0;
+    txn_deadline = 200_000.0;
   }
 
 let total_partitions t = t.nodes * t.partitions_per_node

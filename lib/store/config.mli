@@ -50,6 +50,38 @@ type t = {
   fault_plan : Lion_sim.Fault.plan;
       (** scheduled crashes / partitions / drop / jitter / stragglers
           injected into this cluster (default: none) *)
+  queue_cap : int;
+      (** bound on each node's worker/service wait queue; 0 (default)
+          = unbounded, admission control off (docs/OVERLOAD.md) *)
+  shed_policy : Lion_sim.Server.shed_policy;
+      (** who is turned away when a bounded queue saturates (default
+          [Reject_newest]; irrelevant while [queue_cap] = 0) *)
+  control_priority : bool;
+      (** if true, remaster/replication control work runs at
+          [Server.High] priority, ahead of user transactions and exempt
+          from shedding (default false) *)
+  retry_budget_rate : float;
+      (** global retry-budget refill, tokens per simulated second; each
+          RPC/log-ship retransmission takes one token. 0 (default) =
+          unlimited retries, as before *)
+  retry_budget_burst : float;  (** retry-budget bucket capacity *)
+  breaker_threshold : int;
+      (** consecutive terminal RPC failures to one destination that
+          trip its circuit breaker; 0 (default) = breakers off *)
+  breaker_cooldown : float;
+      (** µs a tripped breaker stays open before half-open probing *)
+  txn_deadline : float;
+      (** client patience, µs from first submission: a commit landing
+          later counts as a deadline miss (discounted from goodput);
+          0 (default) = no deadline, goodput = throughput *)
+  deadline_enforce : bool;
+      (** if true (default), a transaction past [txn_deadline] is also
+          {e shed} — aborted attempts stop retrying and in-flight RPCs
+          stop retransmitting. false keeps the deadline as a pure
+          measurement SLO: late commits are counted but the system
+          still burns capacity completing them — the configuration the
+          metastable-failure repro uses as its unprotected baseline
+          (docs/OVERLOAD.md). Irrelevant while [txn_deadline] = 0 *)
 }
 
 val default : t
@@ -61,3 +93,10 @@ val total_workers : t -> int
 
 val with_nodes : t -> int -> t
 (** Scale the cluster size keeping per-node density fixed (Fig. 11). *)
+
+val with_overload_defaults : t -> t
+(** Turn every overload-robustness knob on at its documented starting
+    point: bounded queues (cap 64, reject-newest), control-traffic
+    priority, a 2000 tokens/s retry budget, breakers (threshold 8,
+    cooldown 50 ms) and a 200 ms transaction deadline. See
+    docs/OVERLOAD.md. *)

@@ -75,6 +75,8 @@ let test_result_rows_header_matches_rows () =
       "frac_execution"; "frac_prepare"; "frac_commit"; "frac_remaster";
       "frac_scheduling"; "frac_replication"; "timeouts"; "retries"; "drops";
       "unavail_s"; "time_to_recover_s"; "goodput_under_fault";
+      "offered_txn_s"; "goodput_txn_s"; "p99_us"; "sheds"; "breaker_rejects";
+      "budget_denials"; "deadline_giveups"; "deadline_misses";
     ];
   Alcotest.(check int) "no rows for empty" 0 (List.length rows)
 
@@ -82,16 +84,20 @@ let test_result_rows_width () =
   let r =
     {
       Lion_harness.Runner.throughput = 1.0;
+      goodput = 1.0;
+      offered = 1.0;
       commits = 1;
       aborts = 0;
       p50 = 1.0;
       p75 = 1.0;
       p90 = 1.0;
       p95 = 1.0;
+      p99 = 1.0;
       mean_latency = 1.0;
       single_node_ratio = 1.0;
       remaster_ratio = 0.0;
       throughput_series = [||];
+      goodput_series = [||];
       bytes_series = [||];
       bytes_per_txn = 0.0;
       phase_fractions = [ (Lion_sim.Metrics.Execution, 1.0) ];
@@ -100,6 +106,12 @@ let test_result_rows_width () =
       timeouts = 0;
       retries = 0;
       drops = 0;
+      sheds = 0;
+      breaker_rejects = 0;
+      breaker_opens = 0;
+      budget_denials = 0;
+      deadline_giveups = 0;
+      deadline_misses = 0;
       availability = [||];
       unavail_seconds = 0.0;
       time_to_recover = infinity;

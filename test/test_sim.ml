@@ -158,6 +158,153 @@ let test_server_utilization () =
   Alcotest.(check (float 1e-9)) "half utilized" 0.5
     (Server.utilization s ~since:0.0 ~now:10.0)
 
+let test_server_utilization_window () =
+  (* A lease held across [reset_counters] must charge only its
+     post-reset span to the new window — the cross-window attribution
+     bug made utilization read above 1. *)
+  let e = Engine.create () in
+  let s = Server.create e ~capacity:1 in
+  let held = ref None in
+  Server.acquire s (fun lease -> held := Some lease);
+  Engine.schedule e ~delay:10.0 (fun () -> Server.reset_counters s);
+  Engine.schedule e ~delay:30.0 (fun () ->
+      match !held with Some l -> Server.release s l | None -> ());
+  Engine.run_all e ();
+  Alcotest.(check (float 1e-9)) "post-reset span only" 20.0 (Server.busy_time s);
+  Alcotest.(check (float 1e-9)) "utilization capped at window" 1.0
+    (Server.utilization s ~since:10.0 ~now:30.0)
+
+let test_server_bounded_queue_rejects_newest () =
+  let e = Engine.create () in
+  let global = ref 0 in
+  let s =
+    Server.create ~queue_cap:2 ~on_shed:(fun () -> incr global) e ~capacity:1
+  in
+  let completed = ref 0 and shed = ref 0 in
+  for _ = 1 to 5 do
+    Server.submit s ~on_shed:(fun () -> incr shed) ~work:10.0 (fun () ->
+        incr completed)
+  done;
+  (* One in service, two admitted to the queue; arrivals 4 and 5 are
+     turned away on the spot, not parked. *)
+  Alcotest.(check int) "shed at arrival" 2 !shed;
+  Engine.run_all e ();
+  Alcotest.(check int) "three served" 3 !completed;
+  Alcotest.(check int) "station counter" 2 (Server.sheds s);
+  Alcotest.(check int) "global hook fired too" 2 !global
+
+let test_server_codel_sheds_standing_queue () =
+  let e = Engine.create () in
+  let s =
+    Server.create ~policy:(Server.Codel { target = 5.0; interval = 10.0 }) e
+      ~capacity:1
+  in
+  let completed = ref 0 and shed = ref 0 in
+  let job () =
+    Server.submit s ~on_shed:(fun () -> incr shed) ~work:20.0 (fun () ->
+        incr completed)
+  in
+  (* Four arrivals at t=0 build a standing queue; a fifth arrives at
+     t=35 so its sojourn is back under the target when the server next
+     dequeues (t=40). CoDel must cut the stale heads (jobs 3 and 4,
+     40 µs old) and serve the fresh one. *)
+  for _ = 1 to 4 do
+    job ()
+  done;
+  Engine.schedule e ~delay:35.0 job;
+  Engine.run_all e ();
+  Alcotest.(check int) "stale heads cut" 2 !shed;
+  Alcotest.(check int) "fresh work served" 3 !completed
+
+let test_server_priority_control_first () =
+  let e = Engine.create () in
+  let s = Server.create e ~capacity:1 in
+  let order = ref [] in
+  Server.submit s ~work:10.0 (fun () -> order := "first" :: !order);
+  Server.submit s ~work:10.0 (fun () -> order := "user" :: !order);
+  Server.submit s ~prio:Server.High ~work:10.0 (fun () ->
+      order := "control" :: !order);
+  Engine.run_all e ();
+  Alcotest.(check (list string))
+    "control traffic jumps the user queue"
+    [ "first"; "control"; "user" ]
+    (List.rev !order)
+
+let test_server_priority_never_shed () =
+  let e = Engine.create () in
+  let s = Server.create ~queue_cap:1 e ~capacity:1 in
+  let completed = ref 0 and shed = ref 0 in
+  Server.submit s ~work:10.0 (fun () -> incr completed);
+  Server.submit s ~work:10.0 (fun () -> incr completed);
+  (* The normal queue is at its cap; control traffic is still
+     admitted. *)
+  Server.submit s ~prio:Server.High
+    ~on_shed:(fun () -> incr shed)
+    ~work:10.0
+    (fun () -> incr completed);
+  Engine.run_all e ();
+  Alcotest.(check int) "not shed" 0 !shed;
+  Alcotest.(check int) "all three served" 3 !completed
+
+let test_server_kill_fails_queue_fast () =
+  let e = Engine.create () in
+  let s = Server.create e ~capacity:1 in
+  let shed = ref 0 and ran = ref 0 in
+  Server.acquire s (fun lease ->
+      Engine.schedule e ~delay:50.0 (fun () -> Server.release s lease));
+  Server.submit s ~on_shed:(fun () -> incr shed) ~work:5.0 (fun () -> incr ran);
+  Server.submit s ~on_shed:(fun () -> incr shed) ~work:5.0 (fun () -> incr ran);
+  Engine.schedule e ~delay:10.0 (fun () ->
+      Server.kill s;
+      (* Both waiters fail the instant the node dies — no silent wait
+         for a grant that will never come. *)
+      Alcotest.(check int) "queue drained on death" 2 !shed;
+      Alcotest.(check int) "queue empty" 0 (Server.queue_length s);
+      (* Work racing in after the crash is refused on arrival. *)
+      Server.submit s ~on_shed:(fun () -> incr shed) ~work:5.0 (fun () ->
+          incr ran));
+  Engine.schedule e ~delay:20.0 (fun () -> Server.revive s);
+  Engine.schedule e ~delay:25.0 (fun () ->
+      Server.submit s ~work:5.0 (fun () -> incr ran));
+  Engine.run_all e ();
+  Alcotest.(check int) "three shed in total" 3 !shed;
+  Alcotest.(check int) "revived node serves again" 1 !ran
+
+(* --- overload primitives --- *)
+
+let test_overload_token_bucket () =
+  let module B = Overload.Token_bucket in
+  let b = B.create ~rate_per_s:1_000.0 ~burst:2.0 in
+  Alcotest.(check bool) "first" true (B.try_take b ~now:0.0);
+  Alcotest.(check bool) "second" true (B.try_take b ~now:0.0);
+  Alcotest.(check bool) "burst spent" false (B.try_take b ~now:0.0);
+  (* 1000 tokens per simulated second = one per 1000 µs. *)
+  Alcotest.(check bool) "half refilled is not one" false (B.try_take b ~now:500.0);
+  Alcotest.(check bool) "refilled" true (B.try_take b ~now:1_000.0);
+  Alcotest.(check int) "taken" 3 (B.taken b);
+  Alcotest.(check int) "denied" 2 (B.denied b)
+
+let test_overload_breaker () =
+  let module Br = Overload.Breaker in
+  let b = Br.create ~threshold:2 ~cooldown:100.0 in
+  Alcotest.(check bool) "closed allows" true (Br.allow b ~now:0.0);
+  Br.record_failure b ~now:0.0;
+  Alcotest.(check bool) "one failure stays closed" true (Br.allow b ~now:1.0);
+  Br.record_failure b ~now:1.0;
+  Alcotest.(check bool) "second consecutive failure trips" false
+    (Br.allow b ~now:2.0);
+  Alcotest.(check int) "one open" 1 (Br.opens b);
+  (* Cooldown elapsed: exactly one half-open probe goes through. *)
+  Alcotest.(check bool) "probe allowed" true (Br.allow b ~now:150.0);
+  Alcotest.(check bool) "surplus caller refused" false (Br.allow b ~now:151.0);
+  Br.record_failure b ~now:151.0;
+  Alcotest.(check bool) "failed probe re-opens" false (Br.allow b ~now:200.0);
+  Alcotest.(check bool) "second probe after cooldown" true (Br.allow b ~now:260.0);
+  Br.record_success b;
+  Alcotest.(check bool) "probe success closes" true (Br.allow b ~now:261.0);
+  Alcotest.(check bool) "and stays closed" true (Br.allow b ~now:262.0);
+  Alcotest.(check bool) "rejects counted" true (Br.rejects b > 0)
+
 (* --- network --- *)
 
 let test_network_delay_model () =
@@ -486,6 +633,38 @@ let prop_timeseries_conserves_mass =
       let total = Array.fold_left ( +. ) 0.0 (Lion_kernel.Timeseries.to_array ts) in
       int_of_float total = List.length times)
 
+(* The admission-control contract (docs/OVERLOAD.md): under any seeded
+   arrival sequence a bounded queue never grows past its cap, and every
+   submitted request resolves exactly one way — completed or shed,
+   never both, never neither. *)
+let prop_bounded_queue_accounting =
+  QCheck.Test.make
+    ~name:"bounded queue holds its cap and accounts for every request"
+    ~count:200
+    QCheck.(
+      triple (int_range 1 3) (int_range 1 5)
+        (list_of_size (Gen.int_range 0 40)
+           (pair (float_range 0.0 50.0) (float_range 0.0 30.0))))
+    (fun (capacity, cap, arrivals) ->
+      let e = Engine.create () in
+      let s = Server.create ~queue_cap:cap e ~capacity in
+      let completed = ref 0 and shed = ref 0 and over_cap = ref false in
+      List.iter
+        (fun (at, work) ->
+          Engine.schedule e ~delay:at (fun () ->
+              Server.submit s
+                ~on_shed:(fun () -> incr shed)
+                ~work
+                (fun () -> incr completed);
+              if Server.queue_length s > cap then over_cap := true))
+        arrivals;
+      Engine.run_all e ();
+      (not !over_cap)
+      && Server.max_queue s <= cap
+      && !completed + !shed = List.length arrivals
+      && !completed = Server.completed s
+      && !shed = Server.sheds s)
+
 let () =
   Alcotest.run "lion_sim"
     [
@@ -511,6 +690,23 @@ let () =
           Alcotest.test_case "double release raises" `Quick test_server_double_release_raises;
           Alcotest.test_case "queue length" `Quick test_server_queue_length;
           Alcotest.test_case "utilization" `Quick test_server_utilization;
+          Alcotest.test_case "utilization window attribution" `Quick
+            test_server_utilization_window;
+          Alcotest.test_case "bounded queue rejects newest" `Quick
+            test_server_bounded_queue_rejects_newest;
+          Alcotest.test_case "CoDel sheds standing queue" `Quick
+            test_server_codel_sheds_standing_queue;
+          Alcotest.test_case "control priority first" `Quick
+            test_server_priority_control_first;
+          Alcotest.test_case "control priority never shed" `Quick
+            test_server_priority_never_shed;
+          Alcotest.test_case "kill fails queued work fast" `Quick
+            test_server_kill_fails_queue_fast;
+        ] );
+      ( "overload",
+        [
+          Alcotest.test_case "token bucket" `Quick test_overload_token_bucket;
+          Alcotest.test_case "circuit breaker" `Quick test_overload_breaker;
         ] );
       ( "network",
         [
@@ -552,5 +748,6 @@ let () =
             prop_server_conserves_work;
             prop_engine_delivers_in_order;
             prop_timeseries_conserves_mass;
+            prop_bounded_queue_accounting;
           ] );
     ]

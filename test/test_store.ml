@@ -560,6 +560,32 @@ let test_submit_local_dead_node_fails () =
   Alcotest.(check bool) "work refused" false !ran;
   Alcotest.(check bool) "on_fail called" true !failed
 
+let test_crash_fails_queued_worker_requests () =
+  (* A crash must fail-fast work already parked in the dead node's
+     worker queue — the queued request's [on_fail] fires at the crash
+     instant rather than the request waiting forever (or executing on a
+     corpse). *)
+  let cl = mk_cluster () in
+  let workers = Config.default.Config.workers_per_node in
+  for _ = 1 to workers do
+    Cluster.acquire_worker cl ~node:1 (fun _lease -> ())
+  done;
+  let failed = ref false and granted = ref false in
+  Cluster.acquire_worker cl ~node:1
+    ~on_fail:(fun () -> failed := true)
+    (fun _lease -> granted := true);
+  Alcotest.(check bool) "request parked behind the full pool" false !failed;
+  Cluster.fail_node cl 1;
+  Alcotest.(check bool) "queued request failed at the crash instant" true !failed;
+  Alcotest.(check bool) "never granted" false !granted;
+  (* After the crash, new requests are refused on arrival too. *)
+  let failed2 = ref false in
+  Cluster.acquire_worker cl ~node:1
+    ~on_fail:(fun () -> failed2 := true)
+    (fun _lease -> ());
+  Alcotest.(check bool) "post-crash request refused on arrival" true !failed2;
+  Engine.run_all cl.Cluster.engine ()
+
 let test_failed_remaster_keeps_cooldown () =
   let cl = mk_cluster () in
   Cluster.add_replica cl ~part:0 ~node:2 ~on_ready:(fun () -> ());
@@ -773,6 +799,8 @@ let () =
             test_rpc_retry_succeeds_after_recovery;
           Alcotest.test_case "submit_local refuses dead node" `Quick
             test_submit_local_dead_node_fails;
+          Alcotest.test_case "crash fails queued worker requests" `Quick
+            test_crash_fails_queued_worker_requests;
           Alcotest.test_case "failed remaster keeps cooldown" `Quick
             test_failed_remaster_keeps_cooldown;
           Alcotest.test_case "remaster during partition" `Quick

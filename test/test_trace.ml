@@ -133,6 +133,30 @@ let test_sum_batch () =
   in
   check_sums tracer
 
+let test_sum_with_queue_phase () =
+  (* Saturate the coordinator worker pools (128 closed-loop clients vs
+     32 workers, overload preset on) so admission waits open their own
+     "queue" spans — the critical path must still partition the root
+     exactly, and the new phase must actually show up in it. *)
+  let cfg = Config.with_overload_defaults Config.default in
+  let tracer = Trace.create ~policy:(Trace.Slowest 16) () in
+  let _ =
+    Runner.run ~seed:11 ~tracer ~cfg
+      ~make:(fun cl -> Lion_protocols.Twopc.create cl)
+      ~gen:(Workloads.ycsb ~seed:11 ~cross:0.5 cfg)
+      { small_rc with clients = 128; duration = 0.5 }
+  in
+  check_sums tracer;
+  let has_queue =
+    List.exists
+      (fun (tr : Trace.trace) ->
+        List.exists
+          (fun (phase, d) -> phase = "queue" && d > 0.0)
+          (Critical_path.phase_totals tr))
+      (Trace.retained tracer)
+  in
+  Alcotest.(check bool) "queue phase on some critical path" true has_queue
+
 let test_deterministic_export () =
   let json () =
     let tracer = Trace.create ~policy:(Trace.Slowest 3) () in
@@ -168,6 +192,8 @@ let () =
             test_critical_path_hand_built;
           Alcotest.test_case "sums to latency (2PC)" `Quick test_sum_standard;
           Alcotest.test_case "sums to latency (batch)" `Quick test_sum_batch;
+          Alcotest.test_case "sums to latency with queue phase" `Quick
+            test_sum_with_queue_phase;
         ] );
       ( "determinism",
         [
