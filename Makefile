@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench chaos audit overload trace examples clean
+.PHONY: all build test bench chaos audit elastic overload trace examples clean
 
 all: build
 
@@ -27,6 +27,13 @@ audit:
 	dune exec bin/audit_run.exe -- --proto lion --nemesis all --seconds 2
 	dune exec bin/audit_run.exe -- --proto lion --nemesis overload --overload \
 		--seconds 2
+	dune exec bin/audit_run.exe -- --assert-rejoin-safe
+
+# Elastic-membership experiment (see docs/MEMBERSHIP.md): the LSTM
+# forecaster drives node join/decommission over a diurnal cycle while
+# open-loop traffic runs; reports time-to-rebalance and goodput dips.
+elastic:
+	dune exec bin/elastic_run.exe -- --smoke
 
 # Overload experiments (see docs/OVERLOAD.md): offered-load sweeps for
 # lion/star/twopc through 1.5x capacity (with and without protection)

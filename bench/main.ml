@@ -65,7 +65,7 @@ module Ycsb = Lion_workload.Ycsb
 module Txn = Lion_workload.Txn
 
 let micro_tests () =
-  let placement = Placement.create ~nodes:4 ~partitions:48 ~replicas:2 ~max_replicas:4 in
+  let placement = Placement.create ~nodes:4 ~partitions:48 ~replicas:2 ~max_replicas:4 () in
   let gen =
     Ycsb.create
       { (Ycsb.default_params ~partitions:48 ~nodes:4) with Ycsb.cross_ratio = 0.5 }

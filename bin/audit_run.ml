@@ -60,18 +60,68 @@ let nemeses ~nodes ~seed :
     ("overload", Nemesis.overload_burst ~node:0 ~duration:1_500_000.0 ());
   ]
 
+(* Selectable by name but excluded from "all": with the default config
+   (session tagging off) this nemesis is *supposed* to produce the
+   stale-replica divergence — that is its point. Run it with
+   --rejoin-safe, or let --assert-rejoin-safe check both sides. *)
+let crash_rejoin_nemesis = ("crash-rejoin", Nemesis.crash_rejoin ())
+
 let usage ~nodes () =
   Printf.eprintf
     "usage: audit_run [--proto NAME|all] [--nemesis NAME|all] [--seed N]\n\
     \                 [--seconds F] [--clients N] [--cross F] [--skew F]\n\
-    \                 [--overload] [-v]\n\
+    \                 [--overload] [--rejoin-safe] [--assert-rejoin-safe] [-v]\n\
      --overload runs with every overload-protection knob on (bounded\n\
      queues, shedding, retry budgets, breakers, deadlines)\n\
+     --rejoin-safe turns on replication session tagging\n\
+     --assert-rejoin-safe checks the crash-rejoin nemesis both ways:\n\
+     divergence without tagging, clean with it (lion, star, 2pc)\n\
      protocols: all, %s\n\
-     nemeses: all, %s\n"
+     nemeses: all, %s, crash-rejoin (not in \"all\"; see --rejoin-safe)\n"
     (String.concat ", " (List.map fst protocols))
     (String.concat ", " (List.map fst (nemeses ~nodes ~seed:1)));
   exit 2
+
+(* The membership-safety gate (docs/MEMBERSHIP.md): the crash-rejoin
+   nemesis must corrupt an untagged cluster — proving the scenario has
+   teeth — and a tagged one must reject the stale streams and audit
+   clean across the representative protocols. *)
+let assert_rejoin_safe ~seed ~seconds ~clients ~cross ~skew () =
+  let nem = snd crash_rejoin_nemesis in
+  let run ~tagging make =
+    let cfg = { Config.default with Config.session_tagging = tagging } in
+    Drive.run ~seed ~clients ~duration:seconds ~cfg ~make
+      ~gen:(Workloads.ycsb ~seed ~skew ~cross cfg)
+      ~nemesis:nem ()
+  in
+  let find name = List.assoc name protocols in
+  let off = run ~tagging:false (find "lion") in
+  let stale_found =
+    List.exists
+      (function Divergence.Stale_replica _ -> true | _ -> false)
+      off.Drive.divergence.Divergence.findings
+  in
+  Printf.printf "tagging off  lion: %d divergence finding(s)%s\n"
+    (List.length off.Drive.divergence.Divergence.findings)
+    (if stale_found then ", stale replica reproduced"
+     else " — expected a stale replica, found none");
+  let on_ok =
+    List.for_all
+      (fun name ->
+        let o = run ~tagging:true (find name) in
+        let ok = Drive.passed o in
+        Printf.printf "tagging on   %-5s: %s (%d stale acks rejected)\n" name
+          (if ok then "clean" else "DIVERGED")
+          o.Drive.stale_rejections;
+        ok)
+      [ "lion"; "star"; "2pc" ]
+  in
+  if stale_found && on_ok then (
+    Printf.printf "rejoin-safety gate OK\n";
+    exit 0)
+  else (
+    Printf.printf "rejoin-safety gate FAILED\n";
+    exit 1)
 
 let () =
   let proto = ref "lion" in
@@ -83,6 +133,8 @@ let () =
   let skew = ref 0.6 in
   let verbose = ref false in
   let overload = ref false in
+  let rejoin_safe = ref false in
+  let assert_rejoin = ref false in
   let nodes = Config.default.Config.nodes in
   let rec parse = function
     | [] -> ()
@@ -110,16 +162,26 @@ let () =
     | "--overload" :: rest ->
         overload := true;
         parse rest
+    | "--rejoin-safe" :: rest ->
+        rejoin_safe := true;
+        parse rest
+    | "--assert-rejoin-safe" :: rest ->
+        assert_rejoin := true;
+        parse rest
     | "-v" :: rest | "--verbose" :: rest ->
         verbose := true;
         parse rest
     | _ -> usage ~nodes ()
   in
   parse (List.tl (Array.to_list Sys.argv));
+  if !assert_rejoin then
+    assert_rejoin_safe ~seed:!seed ~seconds:!seconds ~clients:!clients
+      ~cross:!cross ~skew:!skew ();
   let cfg =
     if !overload then Config.with_overload_defaults Config.default
     else Config.default
   in
+  let cfg = { cfg with Config.session_tagging = cfg.Config.session_tagging || !rejoin_safe } in
   let pick all sel =
     if sel = "all" then all
     else
@@ -128,7 +190,12 @@ let () =
       | None -> usage ~nodes ()
   in
   let protos = pick protocols !proto in
-  let nems = pick (nemeses ~nodes ~seed:!seed) !nemesis in
+  (* crash-rejoin resolves by name only: "all" must stay green on the
+     default config, and this nemesis exists to diverge it. *)
+  let nems =
+    if !nemesis = fst crash_rejoin_nemesis then [ crash_rejoin_nemesis ]
+    else pick (nemeses ~nodes ~seed:!seed) !nemesis
+  in
   let failures = ref 0 in
   Printf.printf "%-10s  %-16s  %7s  %6s  %9s  %7s  %6s  %s\n" "protocol"
     "nemesis" "commits" "aborts" "anomalies" "behind" "avail" "verdict";

@@ -1,0 +1,34 @@
+(* Elastic-membership experiment driver (docs/MEMBERSHIP.md):
+
+     dune exec bin/elastic_run.exe --            # full 30 s diurnal cycle
+     dune exec bin/elastic_run.exe -- --smoke    # 10 s CI-sized run
+
+   Exits non-zero unless the run completed at least one join and one
+   decommission under load with no stale replication delivery applied
+   — the acceptance gate for the membership machinery. *)
+
+let () =
+  let smoke = ref false in
+  let seed = ref 1 in
+  let rec parse = function
+    | [] -> ()
+    | "--smoke" :: rest ->
+        smoke := true;
+        parse rest
+    | "--seed" :: v :: rest ->
+        seed := int_of_string v;
+        parse rest
+    | a :: _ ->
+        Printf.eprintf "usage: elastic_run [--smoke] [--seed N] (unknown %s)\n" a;
+        exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let r = Lion_harness.Elastic.run ~seed:!seed ~smoke:!smoke () in
+  Lion_harness.Elastic.print_report r;
+  if r.Lion_harness.Elastic.joins = 0 then (
+    Printf.eprintf "FAIL: no node joined during the ramp\n";
+    exit 1);
+  if r.Lion_harness.Elastic.decommissions = 0 then (
+    Printf.eprintf "FAIL: no decommission completed during the ramp-down\n";
+    exit 1);
+  Printf.printf "elastic scale OK\n"

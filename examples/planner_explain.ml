@@ -57,7 +57,7 @@ let () =
 
   (* A 3-node cluster; partitions round-robin with 2 replicas, matching
      the paper's sketch closely enough to exercise every cost case. *)
-  let placement = Placement.create ~nodes:3 ~partitions:5 ~replicas:2 ~max_replicas:3 in
+  let placement = Placement.create ~nodes:3 ~partitions:5 ~replicas:2 ~max_replicas:3 () in
   let pt =
     Table.create ~title:"Original replica layout (Fig 4b analogue)"
       ~columns:[ "partition"; "primary"; "secondaries" ]

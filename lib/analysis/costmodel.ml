@@ -22,13 +22,16 @@ let clump_cost t placement ~parts ~node =
       +. (t.w_m *. cnt_m t placement ~part ~node))
     0.0 parts
 
-let find_dst_node t placement ~parts =
+let find_dst_node ?eligible t placement ~parts =
   let nodes = Placement.nodes placement in
+  let ok n = match eligible with None -> true | Some f -> f n in
   let best = ref (0, infinity) in
   for node = 0 to nodes - 1 do
-    let c = clump_cost t placement ~parts ~node in
-    let _, best_c = !best in
-    if c < best_c then best := (node, c)
+    if ok node then begin
+      let c = clump_cost t placement ~parts ~node in
+      let _, best_c = !best in
+      if c < best_c then best := (node, c)
+    end
   done;
   !best
 

@@ -25,9 +25,11 @@ val clump_cost : t -> Lion_store.Placement.t -> parts:int list -> node:int -> fl
 (** f_o(n, c). *)
 
 val find_dst_node :
-  t -> Lion_store.Placement.t -> parts:int list -> int * float
+  ?eligible:(int -> bool) -> t -> Lion_store.Placement.t -> parts:int list -> int * float
 (** The node with the lowest placement cost (lowest id on ties) and
-    that cost. *)
+    that cost. [eligible] (default: everyone) restricts the candidate
+    set — elastic clusters pass [Cluster.plan_target_ok] so plans never
+    target standby, draining or dead slots (docs/MEMBERSHIP.md). *)
 
 val txn_route_cost :
   t -> Lion_store.Placement.t -> parts:int list -> node:int -> float

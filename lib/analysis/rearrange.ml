@@ -12,20 +12,34 @@ let check_balance balance avg epsilon =
   Array.for_all (fun b -> b <= theta +. 1e-9) balance
 
 (* Overloaded: above avg·(1+ε). Idle: strictly below avg, so a move
-   always narrows the gap. Both lists are sorted most-extreme-first. *)
-let find_oi_nodes balance avg epsilon =
+   always narrows the gap. Both lists are sorted most-extreme-first.
+   Ineligible nodes (standby/draining/dead slots in an elastic cluster)
+   are excluded from the idle list so fine-tuning never sends a clump
+   where dispatching could not. *)
+let find_oi_nodes balance avg epsilon ok =
   let theta = avg *. (1.0 +. epsilon) in
   let overloaded = ref [] and idle = ref [] in
   Array.iteri
     (fun n b ->
       if b > theta then overloaded := (n, b) :: !overloaded
-      else if b < avg then idle := (n, b) :: !idle)
+      else if b < avg && ok n then idle := (n, b) :: !idle)
     balance;
   ( List.sort (fun (_, a) (_, b) -> compare b a) !overloaded |> List.map fst,
     List.sort (fun (_, a) (_, b) -> compare a b) !idle |> List.map fst )
 
-let rearrange cost placement clumps ?(epsilon = 0.25) ?(max_steps = 64) () =
+let rearrange ?eligible cost placement clumps ?(epsilon = 0.25) ?(max_steps = 64) () =
   let nodes = Placement.nodes placement in
+  let ok n = match eligible with None -> true | Some f -> f n in
+  let eligible_count =
+    match eligible with
+    | None -> nodes
+    | Some f ->
+        let c = ref 0 in
+        for n = 0 to nodes - 1 do
+          if f n then incr c
+        done;
+        !c
+  in
   let balance = Array.make nodes 0.0 in
   (* Per-node clump queues, kept ascending by weight for the gap search
      of PickClump. *)
@@ -33,7 +47,7 @@ let rearrange cost placement clumps ?(epsilon = 0.25) ?(max_steps = 64) () =
   (* Step 1: clump dispatching. *)
   List.iter
     (fun (c : Clump.t) ->
-      let dst, _ = Costmodel.find_dst_node cost placement ~parts:c.pids in
+      let dst, _ = Costmodel.find_dst_node ?eligible cost placement ~parts:c.pids in
       c.dest <- dst;
       balance.(dst) <- balance.(dst) +. c.w;
       queues.(dst) <- c :: queues.(dst))
@@ -41,13 +55,15 @@ let rearrange cost placement clumps ?(epsilon = 0.25) ?(max_steps = 64) () =
   Array.iteri
     (fun n q -> queues.(n) <- List.sort (fun (a : Clump.t) b -> compare a.w b.w) q)
     queues;
-  let avg = Clump.total_weight clumps /. float_of_int nodes in
+  let avg =
+    Clump.total_weight clumps /. float_of_int (Stdlib.max 1 eligible_count)
+  in
   (* Step 2: load fine-tuning. *)
   let moves = ref 0 in
   let steps = ref max_steps in
   let running = ref true in
   while !running && (not (check_balance balance avg epsilon)) && !steps > 0 do
-    let overloaded, idle = find_oi_nodes balance avg epsilon in
+    let overloaded, idle = find_oi_nodes balance avg epsilon ok in
     match (overloaded, idle) with
     | [], _ | _, [] -> running := false
     | _ ->

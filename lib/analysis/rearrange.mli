@@ -14,6 +14,7 @@ type result = {
 }
 
 val rearrange :
+  ?eligible:(int -> bool) ->
   Costmodel.t ->
   Lion_store.Placement.t ->
   Clump.t list ->
@@ -23,7 +24,10 @@ val rearrange :
   result
 (** [epsilon] is the permissible imbalance (default 0.25); [max_steps]
     caps fine-tuning moves (the algorithm's A, default 64). Clump
-    [dest] fields are updated in place as a side effect. *)
+    [dest] fields are updated in place as a side effect. [eligible]
+    (default: everyone) restricts both dispatching and fine-tuning
+    destinations — elastic clusters exclude standby, draining and dead
+    slots, and the balance average is taken over eligible nodes only. *)
 
 val plan_cost : Costmodel.t -> Lion_store.Placement.t -> (Clump.t * int) list -> float
 (** C_p(P, P') of Eq. 2: summed placement cost of the assignment. *)

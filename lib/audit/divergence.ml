@@ -6,6 +6,7 @@ module History = Lion_store.History
 
 type finding =
   | Replica_behind of { part : int; node : int; applied : int; log_len : int }
+  | Stale_replica of { part : int; node : int; durable : int; log_len : int }
   | Lost_write of { key : Kvstore.key; history_version : int; store_version : int }
 
 type report = {
@@ -21,6 +22,11 @@ let pp_finding fmt = function
       Format.fprintf fmt
         "replica P%d@@node%d behind: applied %d of %d log records" part node
         applied log_len
+  | Stale_replica { part; node; durable; log_len } ->
+      Format.fprintf fmt
+        "stale replica P%d@@node%d: believed caught up but storage durably \
+         holds %d of %d log records (stale-session install)"
+        part node durable log_len
   | Lost_write { key; history_version; store_version } ->
       Format.fprintf fmt
         "lost write: history installed %a@@v%d but the store holds v%d"
@@ -55,7 +61,17 @@ let audit ?history cl =
           incr checked;
           let applied = Replication.applied repl ~part ~node in
           if applied < log_len then
-            findings := Replica_behind { part; node; applied; log_len } :: !findings))
+            findings := Replica_behind { part; node; applied; log_len } :: !findings
+          else
+            (* The believed watermark claims caught-up: check the
+               ground truth behind it. A durable watermark trailing the
+               log here means a stale-session stream stamped
+               bookkeeping for state the node's storage never received
+               — the crash-rejoin corruption signature
+               (docs/MEMBERSHIP.md). *)
+            let durable = Replication.durable repl ~part ~node in
+            if durable < log_len then
+              findings := Stale_replica { part; node; durable; log_len } :: !findings))
       holders
   done;
   (* History cross-check: every version the history says was installed

@@ -17,6 +17,13 @@
 
 type finding =
   | Replica_behind of { part : int; node : int; applied : int; log_len : int }
+  | Stale_replica of { part : int; node : int; durable : int; log_len : int }
+      (** the believed watermark claims the replica is caught up, but
+          its storage durably holds less than the log — the signature a
+          stale replication session leaves when its install or ack is
+          accepted after the node crashed and rejoined. Session tagging
+          ([Config.session_tagging]) prevents it; the crash-rejoin
+          nemesis reproduces it (docs/MEMBERSHIP.md) *)
   | Lost_write of {
       key : Lion_store.Kvstore.key;
       history_version : int;

@@ -17,6 +17,8 @@ type outcome = {
   aborts : int;
   min_availability : float;
   resyncs : int;
+  stale_rejections : int;
+  replica_purges : int;
   final_time : float;
 }
 
@@ -93,5 +95,7 @@ let run ?(seed = 1) ?(clients = 8) ?(duration = 4.0) ?(nemesis_at = 1.0)
     aborts = Metrics.aborts metrics;
     min_availability = !min_avail;
     resyncs = cl.Cluster.resync_count;
+    stale_rejections = Metrics.stale_ack_rejections metrics;
+    replica_purges = Metrics.replica_purges metrics;
     final_time = Engine.now engine;
   }

@@ -20,6 +20,13 @@ type outcome = {
       (** lowest 100 ms-sampled {!Lion_store.Cluster.availability}
           before the horizon *)
   resyncs : int;  (** anti-entropy repairs that completed *)
+  stale_rejections : int;
+      (** stale-session stream deliveries rejected by tagging
+          ([Metrics.stale_ack_rejections]; 0 unless
+          [Config.session_tagging]) *)
+  replica_purges : int;
+      (** stale secondaries purged at node recovery
+          ([Metrics.replica_purges]) *)
   final_time : float;  (** simulated time when the queue drained (µs) *)
 }
 

@@ -133,6 +133,38 @@ let overload_burst ?(node = 0) ?(duration = 2_000_000.0) ?(factor = 6.0)
     (Printf.sprintf "overload-burst-n%d" node)
     (overlay [ straggler ~duration ~factor ~node (); lossy ~duration ~prob () ])
 
+(* Crash/rejoin cycles engineered to land inside replication-stream
+   windows (docs/MEMBERSHIP.md). Each cycle, anchored on a planner tick
+   (cycles default to the driver's 1 s tick period):
+
+   - for [hold] µs before the crash, messages to the node are held in
+     flight just long enough ([Fault.Delay], deterministic) to be
+     delivered after the node has crashed AND rejoined — the classic
+     stale replication ack;
+   - the crash itself lands [hold] after the tick, so a replica install
+     the planner initiated at the tick (a [replica_add_duration] =
+     200 ms background copy by default) completes after the rejoin too —
+     a stale snapshot install.
+
+   Untagged sessions accept both and corrupt the apply watermarks
+   (the divergence audit reports [Stale_replica]); with
+   [Config.session_tagging] both are rejected and the audit is clean. *)
+let crash_rejoin ?(node = 1) ?(cycles = 2) ?(period = 1_000_000.0)
+    ?(downtime = 120_000.0) () =
+  let hold = 50_000.0 in
+  let extra = downtime +. hold +. 30_000.0 in
+  {
+    name = Printf.sprintf "crash-rejoin-n%d" node;
+    dur = (float_of_int (Stdlib.max 1 cycles - 1) *. period) +. hold +. downtime;
+    build =
+      (fun at ->
+        List.concat
+          (List.init (Stdlib.max 1 cycles) (fun k ->
+               let t0 = at +. (float_of_int k *. period) in
+               Fault.delay ~dst:node ~extra ~from_:t0 ~until:(t0 +. hold) ()
+               :: Fault.crash_recover ~node ~at:(t0 +. hold) ~downtime)));
+  }
+
 (* {2 Seeded schedule generator} *)
 
 let adversarial ?(events = 6) ?(window = 6_000_000.0) ~seed ~nodes () =

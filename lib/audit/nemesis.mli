@@ -88,6 +88,23 @@ val overload_burst :
     audit asserts that load shedding, breakers and deadline give-ups
     cost availability only, never consistency. *)
 
+val crash_rejoin :
+  ?node:int -> ?cycles:int -> ?period:float -> ?downtime:float -> unit -> t
+(** Crash/rejoin cycles engineered to catch replication streams mid
+    flight (docs/MEMBERSHIP.md): each cycle deterministically delays
+    messages to [node] (default 1) just before a crash whose [downtime]
+    (default 120 ms) is shorter than a replica install, so both delayed
+    log-ship acks and in-flight snapshot installs land {e after} the
+    node has rejoined. Without [Config.session_tagging] the stale
+    streams are accepted and the divergence audit reports
+    [Stale_replica]; with it they are rejected (counted as
+    [Metrics.stale_ack_rejections]) and the audit stays clean. Cycles
+    (default 2) repeat every [period] (default 1 s — the audit driver's
+    planner-tick period, so installs are in flight when the crash
+    lands; a further cycle would crash the node again {e after} the
+    stale installs landed, wiping the evidence before the audit
+    runs). *)
+
 val adversarial : ?events:int -> ?window:float -> seed:int -> nodes:int -> unit -> t
 (** Seeded schedule generator: [events] (default 6) random fault
     windows — crashes, single-node partitions, stragglers, message

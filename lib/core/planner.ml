@@ -112,8 +112,18 @@ let tick t =
   let plan =
     match t.cfg.strategy with
     | Rearrange ->
+        (* With elastic membership on, plans must not target standby,
+           draining or dead slots. The filter is only passed when the
+           knob is set, so default runs evaluate the exact same code
+           path as before. *)
+        let eligible =
+          if t.cl.Cluster.cfg.Lion_store.Config.rebalance_rate > 0.0 then
+            Some (Cluster.plan_target_ok t.cl)
+          else None
+        in
         let result =
-          Rearrange.rearrange t.cost placement clumps ~epsilon:t.cfg.epsilon ()
+          Rearrange.rearrange ?eligible t.cost placement clumps
+            ~epsilon:t.cfg.epsilon ()
         in
         (* Eager promotion: the plan's w_r costs are paid as the adaptor
            applies it (Example 2), so the router — which follows

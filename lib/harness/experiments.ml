@@ -941,6 +941,12 @@ let overload_sweep ?(scale = 1.0) () =
 let metastable ?(scale = 1.0) () =
   Overload.print_metastable (Overload.metastable_pair ~scale ())
 
+let elastic_scale ?(scale = 1.0) () =
+  (* The experiment has two fixed sizes (a 30 s diurnal cycle with the
+     LSTM, a 10 s smoke cycle on the trend fallback) rather than a
+     continuous scale — any reduced scale selects the smoke run. *)
+  Elastic.print_report (Elastic.run ~smoke:(scale < 1.0) ())
+
 (* ------------------------------------------------------------------ *)
 
 let registry =
@@ -995,6 +1001,9 @@ let registry =
     ( "metastable",
       "Overload: metastable-failure repro, with and without protection",
       fun s -> metastable ~scale:s () );
+    ( "elastic_scale",
+      "Membership: forecast-driven autoscale over a diurnal cycle",
+      fun s -> elastic_scale ~scale:s () );
   ]
 
 let run_all ?(scale = 1.0) () =

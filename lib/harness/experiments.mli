@@ -84,6 +84,11 @@ val metastable : ?scale:float -> unit -> unit
 (** Overload: the metastable-failure reproduction, unprotected vs
     protected — see {!Overload.metastable}. *)
 
+val elastic_scale : ?scale:float -> unit -> unit
+(** Membership: the forecast-driven autoscaler joining and
+    decommissioning nodes over a diurnal open-loop cycle — see
+    {!Elastic}. Any [scale] < 1 selects the smoke-sized run. *)
+
 val registry : (string * string * (float -> unit)) list
 (** (id, description, run-with-scale) for every experiment above. *)
 

@@ -60,6 +60,7 @@ type result = {
   budget_denials : int;
   deadline_giveups : int;
   deadline_misses : int;
+  stale_ack_rejections : int;
   availability : float array;
   unavail_seconds : float;
   time_to_recover : float;
@@ -237,6 +238,7 @@ let run ?(seed = 1) ?(batch = false) ?(setup = fun _ -> ()) ?tracer ?history
     budget_denials = Metrics.budget_denials metrics;
     deadline_giveups = Metrics.deadline_giveups metrics;
     deadline_misses = Metrics.deadline_misses metrics;
+    stale_ack_rejections = Metrics.stale_ack_rejections metrics;
     availability;
     unavail_seconds;
     time_to_recover;

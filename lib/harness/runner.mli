@@ -73,6 +73,10 @@ type result = {
   deadline_misses : int;
       (** transactions committed after their deadline (counted in
           [throughput], discounted from [goodput]) *)
+  stale_ack_rejections : int;
+      (** stale-session replication deliveries rejected by
+          [Config.session_tagging] (measured window; always 0 with
+          tagging off) *)
   availability : float array;
       (** per-second availability samples (incl. warmup); see
           [Cluster.availability] *)

@@ -12,6 +12,13 @@ type spec =
     }
   | Jitter of { extra : float; from_ : float; until : float }
   | Straggler of { node : int; factor : float; from_ : float; until : float }
+  | Delay of {
+      src : int option;
+      dst : int option;
+      extra : float;
+      from_ : float;
+      until : float;
+    }
 
 type plan = spec list
 
@@ -20,6 +27,7 @@ let crash ~node ~at ?recover_at () = Crash { node; at; recover_at }
 let partition ~groups ~from_ ~until = Partition { groups; from_; until }
 let drop ?src ?dst ~prob ~from_ ~until () = Drop { src; dst; prob; from_; until }
 let jitter ~extra ~from_ ~until = Jitter { extra; from_; until }
+let delay ?src ?dst ~extra ~from_ ~until () = Delay { src; dst; extra; from_; until }
 let straggler ~node ~factor ~from_ ~until = Straggler { node; factor; from_; until }
 
 (* Named scenarios: each is a plan, and plans compose with [@]. *)
@@ -89,6 +97,16 @@ let link t ~now ~src ~dst =
           | Jitter { extra = e; from_; until }
             when active ~now ~from_ ~until && e > 0.0 ->
               go (extra +. Rng.float t.rng e) rest
+          (* Unlike [Jitter], the added latency is deterministic: no RNG
+             draw, so a plan using only [Delay] replays bit-for-bit. A
+             message sent inside the window is slowed by the full
+             [extra] — long enough, and it is still in flight when its
+             destination crashes and rejoins. *)
+          | Delay { src = s; dst = d; extra = e; from_; until }
+            when active ~now ~from_ ~until && e > 0.0
+                 && (match s with None -> true | Some n -> n = src)
+                 && (match d with None -> true | Some n -> n = dst) ->
+              go (extra +. e) rest
           | _ -> go extra rest)
     in
     go 0.0 t.plan)

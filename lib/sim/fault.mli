@@ -29,6 +29,16 @@ type spec =
       (** add uniform [0, extra) µs to every one-way delivery *)
   | Straggler of { node : int; factor : float; from_ : float; until : float }
       (** multiply all CPU work on [node] by [factor] while active *)
+  | Delay of {
+      src : int option;  (** restrict to one sender ([None] = any) *)
+      dst : int option;  (** restrict to one receiver *)
+      extra : float;  (** deterministic extra one-way latency, µs *)
+      from_ : float;
+      until : float;
+    }
+      (** add exactly [extra] µs to matching deliveries — the
+          deterministic cousin of [Jitter], used to keep messages in
+          flight across a crash/rejoin window (docs/MEMBERSHIP.md) *)
 
 type plan = spec list
 
@@ -44,6 +54,9 @@ val drop :
 
 val jitter : extra:float -> from_:float -> until:float -> spec
 val straggler : node:int -> factor:float -> from_:float -> until:float -> spec
+
+val delay :
+  ?src:int -> ?dst:int -> extra:float -> from_:float -> until:float -> unit -> spec
 
 (** {2 Named scenarios} — small plans that compose with [@]. *)
 

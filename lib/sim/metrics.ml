@@ -42,6 +42,8 @@ type t = {
   mutable budget_denials : int;
   mutable deadline_giveups : int;
   mutable deadline_misses : int;
+  mutable stale_acks : int;
+  mutable replica_purges : int;
   avail_series : Timeseries.t;
 }
 
@@ -66,6 +68,8 @@ let create ?(seed = 42) engine =
     budget_denials = 0;
     deadline_giveups = 0;
     deadline_misses = 0;
+    stale_acks = 0;
+    replica_purges = 0;
     avail_series = Timeseries.create ~interval:(Engine.seconds 1.0);
   }
 
@@ -91,6 +95,8 @@ let record_breaker_open t = t.breaker_opens <- t.breaker_opens + 1
 let record_budget_denial t = t.budget_denials <- t.budget_denials + 1
 let record_deadline_giveup t = t.deadline_giveups <- t.deadline_giveups + 1
 let record_deadline_miss t = t.deadline_misses <- t.deadline_misses + 1
+let record_stale_ack t = t.stale_acks <- t.stale_acks + 1
+let record_replica_purge t = t.replica_purges <- t.replica_purges + 1
 let timeouts t = t.timeouts
 let retries t = t.retries
 let drops t = t.drops
@@ -100,6 +106,8 @@ let breaker_opens t = t.breaker_opens
 let budget_denials t = t.budget_denials
 let deadline_giveups t = t.deadline_giveups
 let deadline_misses t = t.deadline_misses
+let stale_ack_rejections t = t.stale_acks
+let replica_purges t = t.replica_purges
 
 let note_availability t ~frac =
   Timeseries.add t.avail_series ~time:(Engine.now t.engine) frac
@@ -145,5 +153,7 @@ let reset_window t =
   t.budget_denials <- 0;
   t.deadline_giveups <- 0;
   t.deadline_misses <- 0;
+  t.stale_acks <- 0;
+  t.replica_purges <- 0;
   Array.fill t.phase_time 0 6 0.0;
   Stats.Reservoir.reset t.latency

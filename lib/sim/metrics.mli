@@ -68,6 +68,16 @@ val record_deadline_miss : t -> unit
 (** A transaction committed, but only after its deadline — counted out
     of goodput. *)
 
+val record_stale_ack : t -> unit
+(** A replication/remaster stream message from a stale session —
+    initiated before its destination left and rejoined the membership —
+    was rejected instead of applied (docs/MEMBERSHIP.md). Only counted
+    while [Config.session_tagging] is on. *)
+
+val record_replica_purge : t -> unit
+(** A rejoining node held a secondary whose partition was remastered
+    away while it was down; the stale copy was purged at recovery. *)
+
 val timeouts : t -> int
 val retries : t -> int
 val drops : t -> int
@@ -77,6 +87,8 @@ val breaker_opens : t -> int
 val budget_denials : t -> int
 val deadline_giveups : t -> int
 val deadline_misses : t -> int
+val stale_ack_rejections : t -> int
+val replica_purges : t -> int
 
 val note_availability : t -> frac:float -> unit
 (** Record a point-in-time availability sample (0..1) into the

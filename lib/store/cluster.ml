@@ -37,11 +37,54 @@ type t = {
   mutable resync_count : int;
   retry_budget : Overload.Token_bucket.t option;
   breakers : Overload.Breaker.t array;
+  (* ---- Elastic membership (docs/MEMBERSHIP.md). All arrays span the
+     full slot capacity ([Config.total_slots]); with no standby slots
+     every field below is constant and the pre-elastic behaviour is
+     preserved bit for bit. ---- *)
+  member : bool array;
+  draining : bool array;
+  node_epoch : int array;
+  primary_term : int array;
+  mutable membership_version : int;
+  mutable join_count : int;
+  mutable decommission_count : int;
+  mutable rebalance_migrations : int;
+  mutable rebalance_running : bool;
+  mutable rebalance_started : float;
+  mutable rebalance_done : float;
+  move_inflight : (int * int, unit) Hashtbl.t;
+  (* ---- In-flight remaster bookkeeping so [fail_node] can cancel a
+     transfer whose target just died instead of leaving the completion
+     timer to find out ([remaster_gen] makes the timer a no-op). ---- *)
+  remaster_target : int array;
+  remaster_prev : float array;
+  remaster_started_at : float array;
+  remaster_gen : int array;
 }
 
 let now t = Engine.now t.engine
-let node_count t = t.cfg.Config.nodes
+let node_count t = Placement.nodes t.placement
 let partition_count t = Placement.partitions t.placement
+
+let member_count t =
+  let c = ref 0 in
+  Array.iter (fun m -> if m then incr c) t.member;
+  !c
+
+(* Identity of a replication/remaster stream, captured when the stream
+   opens. [epoch] — the destination's incarnation — is the staleness
+   discriminator: a node that left and rejoined the membership has a
+   new epoch, so anything still in flight from its previous life is
+   recognisably stale at delivery (docs/MEMBERSHIP.md). *)
+let session_for t ~part ~dst : Replication.session =
+  {
+    Replication.version = t.membership_version;
+    term = t.primary_term.(part);
+    epoch = t.node_epoch.(dst);
+  }
+
+let session_stale t ~dst (s : Replication.session) =
+  t.node_epoch.(dst) <> s.Replication.epoch
 let touch_partition t p = t.part_access.(p) <- t.part_access.(p) +. 1.0
 
 let decay_access t factor =
@@ -131,6 +174,11 @@ let try_begin_remaster t ~part ~node =
     let started = now t in
     let prev = t.part_last_remaster.(part) in
     t.part_last_remaster.(part) <- started;
+    t.remaster_target.(part) <- node;
+    t.remaster_prev.(part) <- prev;
+    t.remaster_started_at.(part) <- started;
+    let gen = t.remaster_gen.(part) in
+    let session = session_for t ~part ~dst:node in
     let delay = t.cfg.Config.remaster_delay in
     block_partition t part (now t +. delay);
     (* Lagging-log synchronisation: ship the records the secondary has
@@ -147,24 +195,46 @@ let try_begin_remaster t ~part ~node =
       ~on_drop:(fun () -> transfer_lost := true)
       (fun () -> ());
     Engine.schedule t.engine ~delay (fun () ->
-        (* The placement may have changed while blocked only via this
-           remaster (the inflight flag excludes races) — but the target
-           may have died in the meantime. *)
-        if
-          t.node_alive.(node)
-          && Placement.has_replica t.placement ~part ~node
-          && not !transfer_lost
-        then (
-          Placement.remaster t.placement ~part ~node;
-          Replication.set_applied t.replication ~part ~node
-            ~upto:(Replication.appends t.replication ~part);
-          t.remaster_count <- t.remaster_count + 1;
-          (* A partition parked as unavailable (lost quorum) now has a
-             live primary again: reopen it. *)
-          if t.part_available.(part) = infinity then t.part_available.(part) <- now t)
-        else if t.part_last_remaster.(part) = started then
-          t.part_last_remaster.(part) <- prev;
-        t.remaster_inflight.(part) <- false);
+        (* [fail_node] cancelled this transfer (the target died and the
+           cooldown was already rolled back): the timer is a no-op. *)
+        if t.remaster_gen.(part) = gen then begin
+          (* The placement may have changed while blocked only via this
+             remaster (the inflight flag excludes races) — but the target
+             may have died in the meantime. *)
+          (if
+             t.node_alive.(node)
+             && Placement.has_replica t.placement ~part ~node
+             && not !transfer_lost
+           then
+             let stale = session_stale t ~dst:node session in
+             if stale && t.cfg.Config.session_tagging then begin
+               (* The lag ship belongs to the target's previous
+                  incarnation: refuse the handover rather than promote
+                  a primary missing its log suffix. *)
+               Metrics.record_stale_ack t.metrics;
+               if t.part_last_remaster.(part) = started then
+                 t.part_last_remaster.(part) <- prev
+             end
+             else begin
+               Placement.remaster t.placement ~part ~node;
+               t.primary_term.(part) <- t.primary_term.(part) + 1;
+               (* The handover ships the lag, not the partition: an
+                  incremental stream, so the durable watermark only
+                  moves where durable state already exists. *)
+               Replication.ack_stream t.replication ~part ~node
+                 ~upto:(Replication.appends t.replication ~part)
+                 ~stale ~reject:false;
+               t.remaster_count <- t.remaster_count + 1;
+               (* A partition parked as unavailable (lost quorum) now has
+                  a live primary again: reopen it. *)
+               if t.part_available.(part) = infinity then
+                 t.part_available.(part) <- now t
+             end
+           else if t.part_last_remaster.(part) = started then
+             t.part_last_remaster.(part) <- prev);
+          t.remaster_inflight.(part) <- false;
+          t.remaster_target.(part) <- -1
+        end);
     true)
 
 let remaster_sync t ~part ~node =
@@ -224,31 +294,65 @@ let add_replica t ~part ~node ~on_ready =
         Server.submit t.workers.(node) ~prio:(ctl_prio t)
           ~work:t.cfg.Config.migration_cpu_cost (fun () -> ());
         t.migration_count <- t.migration_count + 1;
+        let session = session_for t ~part ~dst:node in
         Engine.schedule t.engine ~delay:t.cfg.Config.replica_add_duration (fun () ->
             if t.node_alive.(node) then (
-              if not (Placement.has_replica t.placement ~part ~node) then (
-                Placement.add_secondary t.placement ~part ~node;
-                (* A fresh install carries a full snapshot: the replica
-                   starts caught up with the log. *)
-                Replication.set_applied t.replication ~part ~node
-                  ~upto:(Replication.appends t.replication ~part);
-                t.replica_add_count <- t.replica_add_count + 1);
-              on_ready ()))
+              let stale = session_stale t ~dst:node session in
+              if stale && t.cfg.Config.session_tagging then
+                (* The snapshot stream was opened against the node's
+                   previous incarnation — whatever it shipped landed on
+                   storage that has since restarted empty. Tagged
+                   sessions catch this and drop the install; the
+                   planner will try again with a fresh stream. *)
+                Metrics.record_stale_ack t.metrics
+              else (
+                (if not (Placement.has_replica t.placement ~part ~node) then begin
+                   (* Re-check the cap at completion: another install for
+                      this partition may have filled the budget while the
+                      copy was in flight (the rebalancer and the planner
+                      can race on the same partition). *)
+                   if
+                     Placement.replica_count t.placement part
+                     >= Placement.max_replicas t.placement
+                   then evict_one_secondary t ~part ~keep:node;
+                   Placement.add_secondary t.placement ~part ~node;
+                   (if stale then
+                      (* Untagged stale install: the placement and the
+                         believed watermark now claim a caught-up
+                         replica whose storage never durably received
+                         the snapshot — the divergence the crash-rejoin
+                         audit exists to expose. *)
+                      Replication.ack_stream t.replication ~part ~node
+                        ~upto:(Replication.appends t.replication ~part)
+                        ~stale:true ~reject:false
+                    else
+                      (* A fresh install carries a full snapshot: the
+                         replica starts caught up with the log. *)
+                      Replication.set_applied t.replication ~part ~node
+                        ~upto:(Replication.appends t.replication ~part));
+                   t.replica_add_count <- t.replica_add_count + 1
+                 end);
+                on_ready ())))
 
 let remove_replica t ~part ~node =
   if Placement.has_secondary t.placement ~part ~node then (
     Placement.remove_secondary t.placement ~part ~node;
     Replication.forget_applied t.replication ~part ~node)
 
-let alive t n = t.node_alive.(n)
+(* Routing liveness: a node must be both up and a current member —
+   standby slots and decommissioned nodes are invisible to the router
+   and the protocols even though their arrays exist. *)
+let alive t n = t.member.(n) && t.node_alive.(n)
 
 let alive_nodes t =
-  List.filter (fun n -> t.node_alive.(n)) (List.init t.cfg.Config.nodes Fun.id)
+  List.filter
+    (fun n -> t.member.(n) && t.node_alive.(n))
+    (List.init (Placement.nodes t.placement) Fun.id)
 
 let work_scale t node = Fault.slow_factor t.fault ~now:(now t) node
 
 let availability t =
-  let nodes = t.cfg.Config.nodes in
+  let members = member_count t in
   let live = List.length (alive_nodes t) in
   let parts = Placement.partitions t.placement in
   let serveable = ref 0 in
@@ -256,8 +360,275 @@ let availability t =
     let prim = Placement.primary t.placement p in
     if t.node_alive.(prim) && t.part_available.(p) <= now t then incr serveable
   done;
-  float_of_int live /. float_of_int nodes
-  *. (float_of_int !serveable /. float_of_int parts)
+  if members = 0 then 0.0
+  else
+    float_of_int live /. float_of_int members
+    *. (float_of_int !serveable /. float_of_int parts)
+
+(* ---- Elastic membership: join / decommission and the bounded
+   background rebalancer (docs/MEMBERSHIP.md). The rebalancer is a
+   self-terminating loop: each tick performs at most one migration step
+   (so [Config.rebalance_rate] bounds the step rate), keeps ticking
+   while it is making progress or moves are in flight, and otherwise
+   stops — every membership or liveness event re-kicks it, so the event
+   queue always drains and [Engine.run_all] terminates. ---- *)
+
+let plan_target_ok t n = t.member.(n) && t.node_alive.(n) && not t.draining.(n)
+
+let eligible_targets t =
+  List.filter (fun n -> plan_target_ok t n)
+    (List.init (Placement.nodes t.placement) Fun.id)
+
+(* Least-loaded eligible node not yet holding [part]; first-lowest id on
+   ties, so rebalancing stays deterministic. *)
+let best_install_target t ~part =
+  List.fold_left
+    (fun best n ->
+      if Placement.has_replica t.placement ~part ~node:n then best
+      else
+        match best with
+        | None -> Some n
+        | Some b ->
+            if Placement.replicas_on t.placement n < Placement.replicas_on t.placement b
+            then Some n
+            else best)
+    None (eligible_targets t)
+
+let live_replica_holders t part =
+  let prim = Placement.primary t.placement part in
+  let secs =
+    List.filter (fun n -> t.node_alive.(n)) (Placement.secondaries t.placement part)
+  in
+  if t.node_alive.(prim) then prim :: secs else secs
+
+let rebalance_period t = 1e6 /. t.cfg.Config.rebalance_rate
+
+let rec rebalance_tick t =
+  let stepped =
+    let slots = Placement.nodes t.placement in
+    let rec drain n =
+      if n >= slots then false
+      else if t.draining.(n) && drain_node_step t n then true
+      else drain (n + 1)
+    in
+    drain 0 || repair_step t || balance_step t
+  in
+  if stepped || Hashtbl.length t.move_inflight > 0 then
+    Engine.schedule t.engine ~delay:(rebalance_period t) (fun () -> rebalance_tick t)
+  else begin
+    t.rebalance_running <- false;
+    t.rebalance_done <- now t
+  end
+
+and kick_rebalancer t =
+  if t.cfg.Config.rebalance_rate > 0.0 && not t.rebalance_running then begin
+    t.rebalance_running <- true;
+    Engine.schedule t.engine ~delay:(rebalance_period t) (fun () -> rebalance_tick t)
+  end
+
+(* Start one (part, dst) replica install, guarded against duplicates;
+   [after] runs once the replica is in place. Returns whether a move is
+   now pending for this partition. One install per partition at a time:
+   the drain and repair paths pick their targets independently, so
+   without this serialisation they can install the same partition onto
+   two different nodes and leave it over-replicated at quiescence —
+   nothing ever trims an excess copy. A caller finding another move
+   pending just waits for it and re-evaluates on a later tick. *)
+and start_move t ~part ~dst ~after =
+  if Hashtbl.fold (fun (p, _) () pending -> pending || p = part) t.move_inflight false
+  then true
+  else if live_replica_holders t part = [] then false (* no live copy to pull *)
+  else begin
+    Hashtbl.add t.move_inflight (part, dst) ();
+    t.rebalance_migrations <- t.rebalance_migrations + 1;
+    add_replica t ~part ~node:dst ~on_ready:(fun () ->
+        Hashtbl.remove t.move_inflight (part, dst);
+        (* A parked partition (primary dead, no surviving copy at crash
+           time) just received a fresh full copy: promote it now rather
+           than wait for the corpse to revive. The dead old primary is
+           demoted in place by the remaster — purge that phantom copy so
+           the node cannot resurrect it as a live replica on recovery
+           (and so the partition is not over-replicated when it does). *)
+        (if t.part_available.(part) = infinity then begin
+           let old = Placement.primary t.placement part in
+           Placement.remaster t.placement ~part ~node:dst;
+           t.primary_term.(part) <- t.primary_term.(part) + 1;
+           (if
+              (not t.node_alive.(old))
+              && Placement.has_secondary t.placement ~part ~node:old
+            then begin
+              Placement.remove_secondary t.placement ~part ~node:old;
+              Replication.forget_applied t.replication ~part ~node:old
+            end);
+           t.part_available.(part) <- now t +. t.cfg.Config.election_delay
+         end);
+        after ();
+        kick_rebalancer t);
+    true
+  end
+
+(* One step for a draining node, in order: move its primaries away,
+   then its remaining secondaries, then finalise the removal. *)
+and drain_node_step t node =
+  match Placement.parts_primary_on t.placement node with
+  | part :: _ -> (
+      match
+        List.filter (fun n -> plan_target_ok t n) (Placement.secondaries t.placement part)
+      with
+      | target :: _ ->
+          (* A live secondary exists: hand leadership over. A false
+             return here means cooldown or another in-flight remaster —
+             both resolve in bounded time, so keep ticking. *)
+          ignore (try_begin_remaster t ~part ~node:target);
+          true
+      | [] -> (
+          match best_install_target t ~part with
+          | Some dst ->
+              start_move t ~part ~dst ~after:(fun () -> remaster_sync t ~part ~node:dst)
+          | None -> false))
+  | [] -> (
+      let parts = Placement.partitions t.placement in
+      let rec first_secondary p =
+        if p >= parts then None
+        else if Placement.has_secondary t.placement ~part:p ~node then Some p
+        else first_secondary (p + 1)
+      in
+      match first_secondary 0 with
+      | Some part ->
+          let others =
+            List.filter (fun n -> n <> node) (live_replica_holders t part)
+          in
+          if List.length others >= t.cfg.Config.replicas then begin
+            (* The factor holds without this copy: drop it now. *)
+            remove_replica t ~part ~node;
+            true
+          end
+          else (
+            match best_install_target t ~part with
+            | Some dst ->
+                start_move t ~part ~dst ~after:(fun () -> remove_replica t ~part ~node)
+            | None -> false)
+      | None ->
+          if Placement.replicas_on t.placement node = 0 then begin
+            (* Drained: leave the membership for good. *)
+            t.draining.(node) <- false;
+            t.member.(node) <- false;
+            t.node_alive.(node) <- false;
+            Fault.mark_down t.fault node;
+            Server.kill t.workers.(node);
+            Server.kill t.services.(node);
+            t.membership_version <- t.membership_version + 1;
+            t.decommission_count <- t.decommission_count + 1;
+            t.rebalance_done <- now t;
+            Log.info (fun m -> m "node %d decommissioned at t=%.0fus" node (now t));
+            Option.iter
+              (fun tr -> Trace.instant ~node ~ts:(now t) tr "decommissioned")
+              t.tracer;
+            true
+          end
+          else false)
+
+(* Re-establish the replication factor after a failure consumed copies
+   (only partitions with a live source can be repaired). *)
+and repair_step t =
+  let parts = Placement.partitions t.placement in
+  let rec go p =
+    if p >= parts then false
+    else
+      let holders = live_replica_holders t p in
+      if holders <> [] && List.length holders < t.cfg.Config.replicas then
+        match best_install_target t ~part:p with
+        | Some dst when not (Hashtbl.mem t.move_inflight (p, dst)) ->
+            (* The factor can be restored underneath the in-flight copy:
+               a dead holder counted out at initiation may revive (its
+               recovery resync brings it current) before the install
+               completes, and the completion would leave the partition
+               over-replicated for good — nothing else ever trims. Drop
+               our own copy again if it turned out redundant. *)
+            start_move t ~part:p ~dst ~after:(fun () ->
+                if List.length (live_replica_holders t p) > t.cfg.Config.replicas
+                then remove_replica t ~part:p ~node:dst)
+        | _ -> go (p + 1)
+      else go (p + 1)
+  in
+  go 0
+
+(* Even out replica counts across eligible nodes — the catch-up path
+   that populates a freshly joined node, one bounded step at a time.
+   Runs only when no move is in flight: replica loads are read from the
+   placement, which an in-flight install has not updated yet, so
+   overlapping balance moves all target the same "underloaded" node and
+   overshoot — then swing back, forever. One move at a time converges. *)
+and balance_step t =
+  if Hashtbl.length t.move_inflight > 0 then false
+  else
+  match eligible_targets t with
+  | [] | [ _ ] -> false
+  | elig ->
+      let load n = Placement.replicas_on t.placement n in
+      let hi =
+        List.fold_left (fun a n -> if load n > load a then n else a) (List.hd elig) elig
+      in
+      let lo =
+        List.fold_left (fun a n -> if load n < load a then n else a) (List.hd elig) elig
+      in
+      if load hi <= load lo + 1 then false
+      else
+        let parts = Placement.partitions t.placement in
+        let rec go p =
+          if p >= parts then false
+          else if
+            Placement.has_secondary t.placement ~part:p ~node:hi
+            && (not (Placement.has_replica t.placement ~part:p ~node:lo))
+            && not (Hashtbl.mem t.move_inflight (p, lo))
+          then
+            start_move t ~part:p ~dst:lo ~after:(fun () ->
+                remove_replica t ~part:p ~node:hi)
+          else go (p + 1)
+        in
+        go 0
+
+let join_node t node =
+  if node < 0 || node >= Placement.nodes t.placement || t.member.(node) then false
+  else begin
+    Log.info (fun m -> m "node %d joined at t=%.0fus" node (now t));
+    Option.iter (fun tr -> Trace.instant ~node ~ts:(now t) tr "join") t.tracer;
+    t.member.(node) <- true;
+    t.draining.(node) <- false;
+    (* A fresh incarnation: anything still in flight from a previous
+       life of this slot is stale from here on. *)
+    t.node_epoch.(node) <- t.node_epoch.(node) + 1;
+    t.node_alive.(node) <- true;
+    Fault.mark_up t.fault node;
+    Server.revive t.workers.(node);
+    Server.revive t.services.(node);
+    t.membership_version <- t.membership_version + 1;
+    t.join_count <- t.join_count + 1;
+    t.rebalance_started <- now t;
+    kick_rebalancer t;
+    true
+  end
+
+let decommission_node t node =
+  let others =
+    List.filter
+      (fun n -> n <> node && plan_target_ok t n)
+      (List.init (Placement.nodes t.placement) Fun.id)
+  in
+  if
+    (not t.member.(node))
+    || t.draining.(node)
+    || List.length others < t.cfg.Config.replicas
+  then false
+  else begin
+    Log.info (fun m -> m "node %d draining at t=%.0fus" node (now t));
+    Option.iter (fun tr -> Trace.instant ~node ~ts:(now t) tr "decommission") t.tracer;
+    t.draining.(node) <- true;
+    t.membership_version <- t.membership_version + 1;
+    t.rebalance_started <- now t;
+    kick_rebalancer t;
+    true
+  end
 
 let fail_node t node =
   if t.node_alive.(node) then (
@@ -271,6 +642,30 @@ let fail_node t node =
     Server.kill t.workers.(node);
     Server.kill t.services.(node);
     let parts = Placement.partitions t.placement in
+    (* Cancel in-flight remasters whose transfer target just died:
+       clear the inflight flag and roll back the optimistically burned
+       cooldown now, instead of leaving both to a completion timer that
+       can only discover the death [remaster_delay] later. The
+       generation bump turns that timer into a no-op on every exit
+       path. *)
+    for part = 0 to parts - 1 do
+      if t.remaster_inflight.(part) && t.remaster_target.(part) = node then begin
+        t.remaster_inflight.(part) <- false;
+        if t.part_last_remaster.(part) = t.remaster_started_at.(part) then
+          t.part_last_remaster.(part) <- t.remaster_prev.(part);
+        t.remaster_gen.(part) <- t.remaster_gen.(part) + 1;
+        t.remaster_target.(part) <- -1
+      end
+    done;
+    (* Rebalance moves headed for the dead node will never fire their
+       [on_ready]: drop their guards so the slot can be retried. *)
+    let dead_moves =
+      Hashtbl.fold
+        (fun (p, d) () acc -> if d = node then (p, d) :: acc else acc)
+        t.move_inflight []
+    in
+    List.iter (Hashtbl.remove t.move_inflight) dead_moves;
+    if t.member.(node) then t.membership_version <- t.membership_version + 1;
     for part = 0 to parts - 1 do
       if Placement.has_secondary t.placement ~part ~node then (
         Placement.remove_secondary t.placement ~part ~node;
@@ -326,17 +721,37 @@ let fail_node t node =
                 then (
                   Placement.remove_secondary t.placement ~part ~node;
                   Replication.forget_applied t.replication ~part ~node)))
-    done)
+    done;
+    (* A failure consumed replicas: the elastic rebalancer (when
+       enabled) restores the replication factor in the background. *)
+    kick_rebalancer t)
 
 let recover_node t node =
-  if not t.node_alive.(node) then (
+  if t.member.(node) && not t.node_alive.(node) then (
     Log.info (fun m -> m "node %d recovered at t=%.0fus" node (now t));
     Option.iter (fun tr -> Trace.instant ~node ~ts:(now t) tr "recover") t.tracer;
+    (* The rejoining node is a new incarnation of the slot: bump its
+       epoch first, so every stream opened before the crash is
+       recognisably stale from this instant (docs/MEMBERSHIP.md). *)
+    t.node_epoch.(node) <- t.node_epoch.(node) + 1;
     t.node_alive.(node) <- true;
     Fault.mark_up t.fault node;
     Server.revive t.workers.(node);
     Server.revive t.services.(node);
     let parts = Placement.partitions t.placement in
+    (* Purge stale secondaries: [fail_node] dropped every secondary the
+       node held, so any secondary present now was left by a layer that
+       remastered the partition away through [Placement] directly while
+       the node was down, demoting its dead primary in place. The copy
+       is stale — it missed every append since the crash — and must not
+       rejoin as a live replica. *)
+    for part = 0 to parts - 1 do
+      if Placement.has_secondary t.placement ~part ~node then begin
+        Placement.remove_secondary t.placement ~part ~node;
+        Replication.forget_applied t.replication ~part ~node;
+        Metrics.record_replica_purge t.metrics
+      end
+    done;
     (* The log-shipping peer for resynchronisation: any live node can
        serve the tail of the durable log (group-commit makes every
        commit reach the log before acknowledgement). *)
@@ -364,7 +779,8 @@ let recover_node t node =
           now t +. t.cfg.Config.election_delay
           +. Network.oneway_delay t.network ~bytes:lag_bytes
       end
-    done)
+    done;
+    kick_rebalancer t)
 
 let node_load t n = Server.busy_time t.workers.(n)
 let reset_load_counters t = Array.iter Server.reset_counters t.workers
@@ -496,12 +912,27 @@ let rec resync_replica t ~part ~node ~tries =
     | Some src ->
         let cur = Replication.applied t.replication ~part ~node in
         let bytes = Stdlib.max 256 ((goal - cur) * t.cfg.Config.record_bytes) in
+        let session = session_for t ~part ~dst:node in
         Network.send t.network ~src ~dst:node ~bytes ~on_drop:retry (fun () ->
-            Replication.set_applied t.replication ~part ~node ~upto:goal;
-            t.resync_count <- t.resync_count + 1;
-            (* More records may have landed while the suffix was in
-               flight: chase the tail before declaring victory. *)
-            resync_replica t ~part ~node ~tries)
+            let stale = session_stale t ~dst:node session in
+            if stale && t.cfg.Config.session_tagging then begin
+              (* The node rejoined while the suffix was in flight: the
+                 shipped range was computed against its previous
+                 incarnation. Reject and restart with a fresh session. *)
+              Metrics.record_stale_ack t.metrics;
+              resync_replica t ~part ~node ~tries:(tries - 1)
+            end
+            else begin
+              (* The suffix extends state from [cur]: incremental, so
+                 the durable watermark moves only where durable state
+                 exists — and not at all on an untagged stale ship. *)
+              Replication.ack_stream t.replication ~part ~node ~upto:goal ~stale
+                ~reject:false;
+              t.resync_count <- t.resync_count + 1;
+              (* More records may have landed while the suffix was in
+                 flight: chase the tail before declaring victory. *)
+              resync_replica t ~part ~node ~tries
+            end)
 
 let start_resync t ~part ~node =
   if not (Hashtbl.mem t.resync_inflight (part, node)) then (
@@ -515,8 +946,14 @@ let replicate_commit t ?ctx parts =
       Replication.append t.replication ~part:p;
       let len = Replication.appends t.replication ~part:p in
       let src = Placement.primary t.placement p in
-      (* The primary's own copy applies the record at commit time. *)
-      Replication.set_applied t.replication ~part:p ~node:src ~upto:len;
+      (* The primary's own copy applies the record at commit time — an
+         incremental extension of its local log, so it advances the
+         durable watermark only where durable state exists. (A primary
+         promoted from a stale-session install has none: its commits
+         stamp bookkeeping over state its storage never received, which
+         is exactly what the divergence audit must still see.) *)
+      Replication.ack_stream t.replication ~part:p ~node:src ~upto:len
+        ~stale:false ~reject:false;
       List.iter
         (fun dst ->
           (* The asynchronous log ship gets its own span (phase
@@ -544,6 +981,10 @@ let replicate_commit t ?ctx parts =
             breaker_failure t dst;
             start_resync t ~part:p ~node:dst
           in
+          (* The stream's session is fixed when the ship starts;
+             retransmissions reuse it, exactly like a real replication
+             session that outlives a destination restart. *)
+          let session = session_for t ~part:p ~dst in
           let rec ship attempt =
             Network.send t.network ~src ~dst ~bytes:t.cfg.Config.record_bytes
               ~on_drop:(fun () ->
@@ -558,12 +999,26 @@ let replicate_commit t ?ctx parts =
                   Engine.schedule t.engine ~delay:backoff (fun () ->
                       ship (attempt + 1))))
               (fun () ->
-                (* The stream is cumulative: delivering the record at
-                   index [len] implies everything before it arrived (or
-                   was re-shipped) too. *)
-                Replication.set_applied t.replication ~part:p ~node:dst ~upto:len;
-                Trace.finish ~ts:(now t) rctx;
-                breaker_success t dst)
+                let stale = session_stale t ~dst session in
+                if stale && t.cfg.Config.session_tagging then begin
+                  (* Delivered to a node that left and rejoined while
+                     the record was in flight: the ack would stamp a
+                     watermark the node's storage no longer backs. *)
+                  Metrics.record_stale_ack t.metrics;
+                  Trace.note ~ts:(now t) "stale-session" rctx;
+                  Trace.finish ~ts:(now t) rctx
+                end
+                else begin
+                  (* The stream is cumulative: delivering the record at
+                     index [len] implies everything before it arrived
+                     (or was re-shipped) too — for the believed
+                     watermark always, for the durable one only where
+                     durable state exists and the session is fresh. *)
+                  Replication.ack_stream t.replication ~part:p ~node:dst ~upto:len
+                    ~stale ~reject:false;
+                  Trace.finish ~ts:(now t) rctx;
+                  breaker_success t dst
+                end)
           in
           if breaker_allows t dst then ship 0
           else (
@@ -587,7 +1042,11 @@ let note_replica_dropped t ~part ~node =
 let create ?(seed = 1) ?tracer ?history cfg =
   let engine = Engine.create () in
   let metrics = Metrics.create ~seed engine in
-  let fault = Fault.create ~seed ~nodes:cfg.Config.nodes cfg.Config.fault_plan in
+  (* Per-node structures span the full slot capacity; standby slots
+     start dead, non-member and invisible until [join_node]. With no
+     standby slots ([Config.default]) this equals [cfg.nodes]. *)
+  let slots = Config.total_slots cfg in
+  let fault = Fault.create ~seed ~nodes:slots cfg.Config.fault_plan in
   let network =
     Network.create ~latency:cfg.Config.net_latency ~per_byte:cfg.Config.net_per_byte
       ~fault ~metrics engine
@@ -601,20 +1060,21 @@ let create ?(seed = 1) ?tracer ?history cfg =
       metrics;
       fault;
       placement =
-        Placement.create ~nodes:cfg.Config.nodes ~partitions:parts ~replicas:cfg.Config.replicas
-          ~max_replicas:cfg.Config.max_replicas;
+        Placement.create ~standby:cfg.Config.standby_nodes ~nodes:cfg.Config.nodes
+          ~partitions:parts ~replicas:cfg.Config.replicas
+          ~max_replicas:cfg.Config.max_replicas ();
       store = Kvstore.create ();
       replication =
         Replication.create ~interval:cfg.Config.group_commit_interval ~partitions:parts
           engine;
       workers =
-        Array.init cfg.Config.nodes (fun _ ->
+        Array.init slots (fun _ ->
             Server.create ~queue_cap:cfg.Config.queue_cap
               ~policy:cfg.Config.shed_policy
               ~on_shed:(fun () -> Metrics.record_shed metrics)
               engine ~capacity:cfg.Config.workers_per_node);
       services =
-        Array.init cfg.Config.nodes (fun _ ->
+        Array.init slots (fun _ ->
             Server.create ~queue_cap:cfg.Config.queue_cap
               ~policy:cfg.Config.shed_policy
               ~on_shed:(fun () -> Metrics.record_shed metrics)
@@ -624,7 +1084,7 @@ let create ?(seed = 1) ?tracer ?history cfg =
       rng = Rng.create seed;
       part_available = Array.make parts 0.0;
       part_access = Array.make parts 0.0;
-      node_alive = Array.make cfg.Config.nodes true;
+      node_alive = Array.init slots (fun n -> n < cfg.Config.nodes);
       part_last_remaster = Array.make parts neg_infinity;
       remaster_count = 0;
       replica_add_count = 0;
@@ -640,12 +1100,44 @@ let create ?(seed = 1) ?tracer ?history cfg =
          else None);
       breakers =
         (if cfg.Config.breaker_threshold > 0 then
-           Array.init cfg.Config.nodes (fun _ ->
+           Array.init slots (fun _ ->
                Overload.Breaker.create ~threshold:cfg.Config.breaker_threshold
                  ~cooldown:cfg.Config.breaker_cooldown)
          else [||]);
+      member = Array.init slots (fun n -> n < cfg.Config.nodes);
+      draining = Array.make slots false;
+      node_epoch = Array.make slots 0;
+      primary_term = Array.make parts 0;
+      membership_version = 0;
+      join_count = 0;
+      decommission_count = 0;
+      rebalance_migrations = 0;
+      rebalance_running = false;
+      rebalance_started = 0.0;
+      rebalance_done = 0.0;
+      move_inflight = Hashtbl.create 16;
+      remaster_target = Array.make parts (-1);
+      remaster_prev = Array.make parts neg_infinity;
+      remaster_started_at = Array.make parts neg_infinity;
+      remaster_gen = Array.make parts 0;
     }
   in
+  (* Standby slots are outside the membership until a join: the fault
+     layer drops traffic to them and their (empty) queues are closed. *)
+  for n = cfg.Config.nodes to slots - 1 do
+    Fault.mark_down fault n;
+    Server.kill t.workers.(n);
+    Server.kill t.services.(n)
+  done;
+  (* Every initial replica holds its (empty) partition durably — the
+     ground-truth rows the durable watermark advances through. *)
+  for part = 0 to parts - 1 do
+    Replication.seed_replica t.replication ~part
+      ~node:(Placement.primary t.placement part);
+    List.iter
+      (fun n -> Replication.seed_replica t.replication ~part ~node:n)
+      (Placement.secondaries t.placement part)
+  done;
   (* Crash/recover events from the fault plan drive the same failover
      machinery as explicit [fail_node] / [recover_node] calls. *)
   List.iter
@@ -675,7 +1167,10 @@ let create ?(seed = 1) ?tracer ?history cfg =
               Trace.instant ~ts:until tr "jitter-end"
           | Fault.Straggler { node; from_; until; _ } ->
               Trace.instant ~node ~ts:from_ tr "straggler-start";
-              Trace.instant ~node ~ts:until tr "straggler-end")
+              Trace.instant ~node ~ts:until tr "straggler-end"
+          | Fault.Delay { from_; until; _ } ->
+              Trace.instant ~ts:from_ tr "delay-start";
+              Trace.instant ~ts:until tr "delay-end")
         cfg.Config.fault_plan)
     tracer;
   t

@@ -58,13 +58,59 @@ type t = {
   breakers : Lion_sim.Overload.Breaker.t array;
       (** per-destination circuit breakers indexed by node; [[||]]
           (default, [Config.breaker_threshold] = 0) disables them *)
+  member : bool array;
+      (** elastic membership (docs/MEMBERSHIP.md): slots currently in
+          the cluster. The first [Config.nodes] slots start as members;
+          standby slots join via [join_node] *)
+  draining : bool array;  (** decommission in progress on this slot *)
+  node_epoch : int array;
+      (** per-slot incarnation counter, bumped on every (re)join — the
+          staleness discriminator carried by [Replication.session] *)
+  primary_term : int array;
+      (** per-partition leadership term, bumped on every promotion
+          (failover election or remaster) *)
+  mutable membership_version : int;
+      (** bumped on every join, decommission and failover *)
+  mutable join_count : int;
+  mutable decommission_count : int;  (** completed (fully drained) removals *)
+  mutable rebalance_migrations : int;
+      (** replica installs initiated by the background rebalancer *)
+  mutable rebalance_running : bool;
+  mutable rebalance_started : float;
+      (** time of the most recent membership change that started
+          rebalancing work — with [rebalance_done], the experiment's
+          time-to-rebalance measurement *)
+  mutable rebalance_done : float;
+      (** time the rebalancer last ran out of work and stopped *)
+  move_inflight : (int * int, unit) Hashtbl.t;
+      (** (part, dst) rebalance installs in flight, guarding against
+          duplicate moves; cleared on completion or target death *)
+  remaster_target : int array;
+      (** per-partition in-flight remaster target (-1 when none) — lets
+          [fail_node] cancel transfers aimed at a dying node *)
+  remaster_prev : float array;
+      (** cooldown stamp to restore if the in-flight remaster fails *)
+  remaster_started_at : float array;
+  remaster_gen : int array;
+      (** generation guard turning a cancelled remaster's completion
+          timer into a no-op *)
 }
 
 val create :
   ?seed:int -> ?tracer:Lion_trace.Trace.t -> ?history:History.t -> Config.t -> t
 
 val now : t -> float
+
 val node_count : t -> int
+(** Slot capacity: [Config.nodes + Config.standby_nodes]. Per-node
+    structures (worker pools, routing tables) span this; non-member
+    slots are never [alive], so they are invisible to routing. Equals
+    [Config.nodes] with the default configuration. *)
+
+val member_count : t -> int
+(** Slots currently in the membership (draining nodes still count until
+    their removal completes). *)
+
 val partition_count : t -> int
 
 val touch_partition : t -> int -> unit
@@ -95,7 +141,11 @@ val try_begin_remaster : t -> part:int -> node:int -> bool
     is updated and lagging-log bytes are charged to the network.
     [remaster_count] and the [remaster_cooldown] stamp are only charged
     when the transfer actually completes — a target dying mid-flight
-    rolls the cooldown back so the partition can retry immediately. *)
+    rolls the cooldown back so the partition can retry immediately
+    ([fail_node] cancels such transfers eagerly rather than waiting for
+    the completion timer). With [Config.session_tagging], a handover
+    whose lag ship predates the target's current incarnation is
+    refused and counted as a stale-ack rejection. *)
 
 val remaster_sync : t -> part:int -> node:int -> unit
 (** Planner-side immediate remaster used when applying a plan outside
@@ -107,7 +157,12 @@ val add_replica : t -> part:int -> node:int -> on_ready:(unit -> unit) -> unit
     network, waits [replica_add_duration], then installs the secondary.
     If the partition is at [max_replicas], evicts the coldest secondary
     (the delete_flag mechanism) first; if [node] already holds a
-    replica, fires [on_ready] immediately. Never blocks transactions. *)
+    replica, fires [on_ready] immediately. Never blocks transactions.
+    The install stream carries a [Replication.session]: if the target
+    crashed and rejoined while the snapshot was in flight, a tagged
+    session drops the install (counted as a stale-ack rejection), while
+    an untagged one reproduces the stale-ack hazard — the placement
+    gains a replica whose durable watermark never moved. *)
 
 val remove_replica : t -> part:int -> node:int -> unit
 
@@ -122,9 +177,40 @@ val note_replica_dropped : t -> part:int -> node:int -> unit
     through [Placement] directly. *)
 
 val alive : t -> int -> bool
-(** Liveness of a node (true until [fail_node]). *)
+(** Routing liveness: the node is a current member and up. Standby
+    slots, decommissioned nodes and crashed nodes all read false. *)
 
 val alive_nodes : t -> int list
+
+(** {2 Elastic membership} (docs/MEMBERSHIP.md)
+
+    Nodes can join and leave the cluster under traffic. Both operations
+    bump [membership_version] and, when [Config.rebalance_rate] > 0,
+    kick a background rebalancer that performs at most one migration
+    step per [1/rate] seconds: draining a decommissioned node's
+    primaries (remaster away) and secondaries (copy, then drop),
+    repairing under-replicated partitions, and evening replica counts
+    onto a freshly joined node. The loop stops whenever it has no work
+    and nothing in flight — membership and liveness events restart it —
+    so quiescing via [Engine.run_all] always terminates. *)
+
+val join_node : t -> int -> bool
+(** Activate a standby (or previously removed) slot: new incarnation
+    (epoch bump), marked alive and member, traffic flows to it, and the
+    rebalancer starts populating it. Returns false if the slot id is
+    out of range or already a member. *)
+
+val decommission_node : t -> int -> bool
+(** Begin draining a member: it keeps serving while the rebalancer
+    moves its primaries and secondaries away, then it leaves the
+    membership for good ([decommission_count] ticks at completion).
+    Returns false if the node is not a member, already draining, or too
+    few other live members would remain to hold [Config.replicas]
+    copies. *)
+
+val plan_target_ok : t -> int -> bool
+(** Eligibility of a node as a replica/remaster target for planners and
+    the rebalancer: a live, non-draining member. *)
 
 val work_scale : t -> int -> float
 (** CPU slowdown multiplier for a node right now: the product of active
@@ -150,7 +236,12 @@ val fail_node : t -> int -> unit
 
 val recover_node : t -> int -> unit
 (** Bring a node back empty: it rejoins with no replicas (its state is
-    stale) and is repopulated by subsequent planner decisions. Any
+    stale) and is repopulated by subsequent planner decisions. The
+    rejoin is a new incarnation (epoch bump), so in-flight streams from
+    before the crash are recognisably stale. Stale secondaries left on
+    the node by layers that remastered partitions away through
+    [Placement] directly while it was down are purged (counted as
+    [Metrics.replica_purges]). Any
     partition that was blocked for lack of replicas revives on this
     node after resynchronising: the unacknowledged log suffix is
     shipped from a live peer (charged to the network, same lagging-log

@@ -33,6 +33,9 @@ type t = {
   breaker_cooldown : float;
   txn_deadline : float;
   deadline_enforce : bool;
+  standby_nodes : int;
+  rebalance_rate : float;
+  session_tagging : bool;
 }
 
 let default =
@@ -71,6 +74,9 @@ let default =
     breaker_cooldown = 50_000.0;
     txn_deadline = 0.0;
     deadline_enforce = true;
+    standby_nodes = 0;
+    rebalance_rate = 0.0;
+    session_tagging = false;
   }
 
 (* The graceful-degradation preset (docs/OVERLOAD.md): bounded queues
@@ -91,6 +97,13 @@ let with_overload_defaults t =
     txn_deadline = 200_000.0;
   }
 
+(* Elastic-membership preset (docs/MEMBERSHIP.md): two standby slots to
+   join into, a bounded background migration rate, and session tagging
+   so streams from before a crash/rejoin cannot corrupt watermarks. *)
+let with_elastic_defaults t =
+  { t with standby_nodes = 2; rebalance_rate = 50.0; session_tagging = true }
+
 let total_partitions t = t.nodes * t.partitions_per_node
 let total_workers t = t.nodes * t.workers_per_node
+let total_slots t = t.nodes + t.standby_nodes
 let with_nodes t nodes = { t with nodes }

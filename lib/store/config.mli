@@ -82,6 +82,25 @@ type t = {
           still burns capacity completing them — the configuration the
           metastable-failure repro uses as its unprotected baseline
           (docs/OVERLOAD.md). Irrelevant while [txn_deadline] = 0 *)
+  standby_nodes : int;
+      (** pre-provisioned node slots beyond [nodes] that start outside
+          the membership; [Cluster.join_node] activates them. 0
+          (default) freezes the membership at [nodes], exactly the
+          pre-elastic behaviour (docs/MEMBERSHIP.md) *)
+  rebalance_rate : float;
+      (** background migration-step rate (partitions per simulated
+          second) for elastic rebalancing: join catch-up, decommission
+          draining and under-replication repair. 0 (default) = elastic
+          rebalancing off; joins and decommissions then only change the
+          membership, never move data *)
+  session_tagging : bool;
+      (** if true, every replication / remaster stream carries a
+          session id ([Replication.session]) and deliveries from a
+          session opened before the destination left and rejoined the
+          membership are rejected (counted as
+          [Metrics.stale_ack_rejections]). false (default) reproduces
+          the classic stale-replication-ack hazard — see
+          docs/MEMBERSHIP.md for the openraft/Ra comparison *)
 }
 
 val default : t
@@ -91,8 +110,17 @@ val default : t
 val total_partitions : t -> int
 val total_workers : t -> int
 
+val total_slots : t -> int
+(** [nodes + standby_nodes]: the size of every per-node structure in an
+    elastic cluster. Equals [nodes] with the default configuration. *)
+
 val with_nodes : t -> int -> t
 (** Scale the cluster size keeping per-node density fixed (Fig. 11). *)
+
+val with_elastic_defaults : t -> t
+(** Turn elastic membership on at its documented starting point: two
+    standby slots, a 50 migrations/s rebalance bound and session-tagged
+    replication streams. See docs/MEMBERSHIP.md. *)
 
 val with_overload_defaults : t -> t
 (** Turn every overload-robustness knob on at its documented starting

@@ -6,17 +6,22 @@ type t = {
   secondary : bool array array; (* partition -> node -> has secondary *)
 }
 
-let create ~nodes ~partitions ~replicas ~max_replicas =
-  assert (nodes > 0 && partitions > 0);
+(* [standby] widens every per-node array without placing anything on the
+   extra slots: the initial layout is computed over the first [nodes]
+   ids exactly as before, so the default ([standby = 0]) placement is
+   unchanged bit for bit. *)
+let create ?(standby = 0) ~nodes ~partitions ~replicas ~max_replicas () =
+  assert (nodes > 0 && partitions > 0 && standby >= 0);
   assert (replicas >= 1 && replicas <= max_replicas && replicas <= nodes);
+  let slots = nodes + standby in
   let primary = Array.init partitions (fun p -> p mod nodes) in
-  let secondary = Array.init partitions (fun _ -> Array.make nodes false) in
+  let secondary = Array.init partitions (fun _ -> Array.make slots false) in
   for p = 0 to partitions - 1 do
     for r = 1 to replicas - 1 do
       secondary.(p).((p + r) mod nodes) <- true
     done
   done;
-  { nodes; partitions; max_replicas; primary; secondary }
+  { nodes = slots; partitions; max_replicas; primary; secondary }
 
 let nodes t = t.nodes
 let partitions t = t.partitions

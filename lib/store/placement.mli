@@ -9,10 +9,20 @@
 
 type t
 
-val create : nodes:int -> partitions:int -> replicas:int -> max_replicas:int -> t
+val create :
+  ?standby:int ->
+  nodes:int ->
+  partitions:int ->
+  replicas:int ->
+  max_replicas:int ->
+  unit ->
+  t
 (** Round-robin initial placement (§II-C): partition [p]'s primary is
     node [p mod nodes]; its [replicas - 1] secondaries follow on
-    successive nodes. *)
+    successive nodes. [standby] (default 0) widens the node-id space by
+    that many empty slots for elastic membership — [nodes t] then
+    reports the total capacity, but nothing is initially placed on the
+    standby ids (docs/MEMBERSHIP.md). *)
 
 val nodes : t -> int
 val partitions : t -> int

@@ -1,6 +1,8 @@
 module Engine = Lion_sim.Engine
 module Timeseries = Lion_kernel.Timeseries
 
+type session = { version : int; term : int; epoch : int }
+
 type t = {
   engine : Engine.t;
   interval : float;
@@ -12,6 +14,13 @@ type t = {
      log record the replica has applied. The authoritative length is
      [totals]; the divergence audit compares the two at quiescence. *)
   applied_tbl : (int * int, int) Hashtbl.t;
+  (* Ground truth behind [applied_tbl]: what the replica's storage
+     actually holds. The two differ only when a stale stream stamped
+     the believed watermark of a node that lost its state in between —
+     the divergence the session-tagging audit exists to catch
+     (docs/MEMBERSHIP.md). A row exists only for replicas seeded at
+     startup or installed by a full-state transfer. *)
+  durable_tbl : (int * int, int) Hashtbl.t;
 }
 
 let create ?sync_delay ~interval ~partitions engine =
@@ -24,6 +33,7 @@ let create ?sync_delay ~interval ~partitions engine =
     totals = Array.make partitions 0;
     grand_total = 0;
     applied_tbl = Hashtbl.create 256;
+    durable_tbl = Hashtbl.create 256;
   }
 
 let append t ~part =
@@ -47,7 +57,36 @@ let applied t ~part ~node =
   | Some i -> i
   | None -> 0
 
-let set_applied t ~part ~node ~upto =
-  if upto > applied t ~part ~node then Hashtbl.replace t.applied_tbl (part, node) upto
+let durable t ~part ~node =
+  match Hashtbl.find_opt t.durable_tbl (part, node) with
+  | Some i -> i
+  | None -> 0
 
-let forget_applied t ~part ~node = Hashtbl.remove t.applied_tbl (part, node)
+let set_applied t ~part ~node ~upto =
+  if upto > applied t ~part ~node then Hashtbl.replace t.applied_tbl (part, node) upto;
+  (* A full-state transfer is ground truth: it (re)creates the durable
+     row even when the believed watermark was already ahead of it. *)
+  match Hashtbl.find_opt t.durable_tbl (part, node) with
+  | Some d -> if upto > d then Hashtbl.replace t.durable_tbl (part, node) upto
+  | None -> Hashtbl.replace t.durable_tbl (part, node) upto
+
+let seed_replica t ~part ~node =
+  if not (Hashtbl.mem t.durable_tbl (part, node)) then
+    Hashtbl.replace t.durable_tbl (part, node) 0
+
+let ack_stream t ~part ~node ~upto ~stale ~reject =
+  if not (stale && reject) then begin
+    if upto > applied t ~part ~node then Hashtbl.replace t.applied_tbl (part, node) upto;
+    (* An incremental stream can only extend storage that already holds
+       the prefix, so the durable watermark moves only where a row
+       exists — and never on a stale stream, whose bytes belong to a
+       state the destination lost when it left the membership. *)
+    if not stale then
+      match Hashtbl.find_opt t.durable_tbl (part, node) with
+      | Some d -> if upto > d then Hashtbl.replace t.durable_tbl (part, node) upto
+      | None -> ()
+  end
+
+let forget_applied t ~part ~node =
+  Hashtbl.remove t.applied_tbl (part, node);
+  Hashtbl.remove t.durable_tbl (part, node)

@@ -8,6 +8,16 @@
     synchronized from the leader to the target secondary"), so the
     cluster charges remaster bytes proportional to it. *)
 
+type session = { version : int; term : int; epoch : int }
+(** Identity of one replication/remaster stream, captured when the
+    stream is opened (docs/MEMBERSHIP.md). [version] is the cluster's
+    membership version and [term] the partition's primary term — the
+    pair openraft calls a [ReplicationSessionId]; [epoch] is the
+    destination node's incarnation number, the field that actually
+    detects staleness: if the destination crashed and rejoined after
+    the stream was opened, its epoch has moved on and the stream's
+    bytes describe state the node no longer holds. *)
+
 type t
 
 val create :
@@ -43,7 +53,35 @@ val applied : t -> part:int -> node:int -> int
 
 val set_applied : t -> part:int -> node:int -> upto:int -> unit
 (** Advance the replica's apply watermark (monotonic: lower values are
-    ignored, so late-arriving ships cannot rewind it). *)
+    ignored, so late-arriving ships cannot rewind it). This is
+    {e full-state-transfer} semantics: the durable watermark advances
+    (and its row is created) alongside the believed one — use it for
+    replica installs, remaster lag sync, failover promotion and
+    recovery resync, where the replica really receives the state. *)
+
+val durable : t -> part:int -> node:int -> int
+(** Ground truth behind [applied]: the log index the replica's storage
+    actually holds (0 if never seeded or installed). Always ≤ the
+    believed watermark except transiently; the divergence audit flags
+    any live replica whose durable watermark trails the log while the
+    believed one claims it is caught up — the stale-stream corruption
+    signature (docs/MEMBERSHIP.md). *)
+
+val seed_replica : t -> part:int -> node:int -> unit
+(** Create the durable row (at 0) for a replica that exists from the
+    start — the cluster seeds every initial holder at creation. *)
+
+val ack_stream : t -> part:int -> node:int -> upto:int -> stale:bool -> reject:bool -> unit
+(** Apply one {e incremental} stream delivery (per-commit log ship or
+    legacy-session message). [stale] says the stream's session predates
+    the destination's current incarnation; [reject] (the
+    [Config.session_tagging] behaviour) refuses such a delivery
+    outright. An accepted delivery always advances the believed
+    watermark; the durable watermark advances only when the stream is
+    fresh {e and} a durable row exists — an incremental stream cannot
+    conjure up the prefix it extends. A stale accepted delivery is thus
+    exactly the hazard: bookkeeping says caught-up, storage says
+    nothing. *)
 
 val forget_applied : t -> part:int -> node:int -> unit
-(** Drop the watermark — the node no longer holds this replica. *)
+(** Drop both watermarks — the node no longer holds this replica. *)

@@ -11,7 +11,7 @@ module Schism = Lion_analysis.Schism
 module Placement = Lion_store.Placement
 
 let mk_placement ?(nodes = 4) ?(partitions = 8) ?(replicas = 2) () =
-  Placement.create ~nodes ~partitions ~replicas ~max_replicas:4
+  Placement.create ~nodes ~partitions ~replicas ~max_replicas:4 ()
 
 (* --- heatgraph --- *)
 

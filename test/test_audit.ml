@@ -263,6 +263,39 @@ let test_divergence_clean_after_crash_sweep () =
   Alcotest.(check bool) "divergence clean" true (Divergence.clean o.Drive.divergence);
   Alcotest.(check bool) "serializable" true (Checker.serializable o.Drive.check)
 
+(* --- crash-rejoin: the stale-session divergence and its fix --- *)
+
+(* The same seeded run under the crash-rejoin nemesis, which lands
+   delayed log-ship acks and in-flight replica installs after their
+   target has crashed and rejoined (docs/MEMBERSHIP.md). Without
+   session tagging the stale streams are accepted and the divergence
+   audit must catch the corruption; with tagging they are rejected
+   (counted) and the audit must be clean. *)
+let rejoin_drive cfg =
+  Drive.run ~seed:1 ~clients:8 ~duration:4.0 ~nemesis_at:1.0 ~cfg
+    ~make:(fun cl ->
+      Lion_core.Standard.create ~name:"Lion"
+        ~config:{ Lion_core.Planner.default_config with predict = true }
+        cl)
+    ~gen:(Workloads.ycsb ~seed:1 ~cross:0.4 ~skew:0.6 cfg)
+    ~nemesis:(Nemesis.crash_rejoin ())
+    ()
+
+let test_crash_rejoin_diverges_untagged () =
+  let o = rejoin_drive Config.default in
+  Alcotest.(check bool) "some work committed" true (o.Drive.commits > 0);
+  Alcotest.(check bool) "stale replica reproduced" true
+    (List.exists
+       (function Divergence.Stale_replica _ -> true | _ -> false)
+       o.Drive.divergence.Divergence.findings);
+  Alcotest.(check int) "nothing rejected without tagging" 0 o.Drive.stale_rejections
+
+let test_crash_rejoin_clean_tagged () =
+  let o = rejoin_drive { Config.default with Config.session_tagging = true } in
+  Alcotest.(check bool) "some work committed" true (o.Drive.commits > 0);
+  Alcotest.(check bool) "audit clean" true (Drive.passed o);
+  Alcotest.(check bool) "stale streams rejected" true (o.Drive.stale_rejections > 0)
+
 (* --- nemesis / drive properties --- *)
 
 let prop_nemesis_plan_deterministic =
@@ -369,6 +402,12 @@ let () =
           Alcotest.test_case "flags lost write" `Quick test_divergence_flags_lost_write;
           Alcotest.test_case "clean after crash sweep" `Quick
             test_divergence_clean_after_crash_sweep;
+        ] );
+      ( "crash-rejoin",
+        [
+          Alcotest.test_case "diverges untagged" `Quick
+            test_crash_rejoin_diverges_untagged;
+          Alcotest.test_case "clean tagged" `Quick test_crash_rejoin_clean_tagged;
         ] );
       qsuite "nemesis-props"
         [ prop_nemesis_plan_deterministic; prop_recording_off_bit_identical ];

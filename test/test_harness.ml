@@ -112,6 +112,7 @@ let test_result_rows_width () =
       budget_denials = 0;
       deadline_giveups = 0;
       deadline_misses = 0;
+      stale_ack_rejections = 0;
       availability = [||];
       unavail_seconds = 0.0;
       time_to_recover = infinity;

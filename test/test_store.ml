@@ -10,7 +10,7 @@ module Engine = Lion_sim.Engine
 (* --- placement --- *)
 
 let mk ?(nodes = 4) ?(partitions = 8) ?(replicas = 2) ?(max_replicas = 4) () =
-  Placement.create ~nodes ~partitions ~replicas ~max_replicas
+  Placement.create ~nodes ~partitions ~replicas ~max_replicas ()
 
 let test_round_robin_layout () =
   let p = mk () in
@@ -711,6 +711,179 @@ let prop_fault_sequence_placement_consistent =
       done;
       !ok)
 
+(* --- elastic membership (docs/MEMBERSHIP.md) --- *)
+
+let mk_elastic ?(rate = 200.0) () =
+  let cfg =
+    { (Config.with_elastic_defaults Config.default) with Config.rebalance_rate = rate }
+  in
+  (cfg, Cluster.create ~seed:5 cfg)
+
+let test_join_node_populates () =
+  let _cfg, cl = mk_elastic () in
+  Alcotest.(check int) "initial members" 4 (Cluster.member_count cl);
+  Alcotest.(check bool) "standby not alive" false (Cluster.alive cl 4);
+  let v = cl.Cluster.membership_version in
+  Alcotest.(check bool) "join accepted" true (Cluster.join_node cl 4);
+  Alcotest.(check bool) "join idempotent refused" false (Cluster.join_node cl 4);
+  Alcotest.(check bool) "out of range refused" false (Cluster.join_node cl 6);
+  Alcotest.(check int) "five members" 5 (Cluster.member_count cl);
+  Alcotest.(check bool) "version bumped" true (cl.Cluster.membership_version > v);
+  Engine.run_all cl.Cluster.engine ();
+  (* The balance pass populates the newcomer one bounded step at a time. *)
+  Alcotest.(check bool) "replicas moved onto joiner" true
+    (Placement.replicas_on cl.Cluster.placement 4 > 0);
+  Alcotest.(check bool) "migrations counted" true (cl.Cluster.rebalance_migrations > 0)
+
+let test_decommission_drains_fully () =
+  let cfg, cl = mk_elastic () in
+  Alcotest.(check bool) "accepted" true (Cluster.decommission_node cl 3);
+  Alcotest.(check bool) "double decommission refused" false (Cluster.decommission_node cl 3);
+  Alcotest.(check bool) "still a member while draining" true cl.Cluster.member.(3);
+  Engine.run_all cl.Cluster.engine ();
+  Alcotest.(check bool) "left the membership" false cl.Cluster.member.(3);
+  Alcotest.(check int) "completion counted" 1 cl.Cluster.decommission_count;
+  Alcotest.(check int) "node emptied" 0 (Placement.replicas_on cl.Cluster.placement 3);
+  for part = 0 to Cluster.partition_count cl - 1 do
+    let prim = Placement.primary cl.Cluster.placement part in
+    Alcotest.(check bool) "primary off the drained node" true (prim <> 3);
+    Alcotest.(check int) "replication factor restored" cfg.Config.replicas
+      (Placement.replica_count cl.Cluster.placement part)
+  done
+
+let test_decommission_floor_refused () =
+  let _cfg, cl = mk_elastic () in
+  (* Drain down to the floor: with replicas = 2 a decommission needs at
+     least 2 other live eligible members, so the fourth-to-last and
+     third-to-last leave but the second-to-last is refused. *)
+  Alcotest.(check bool) "4 -> 3 accepted" true (Cluster.decommission_node cl 3);
+  Engine.run_all cl.Cluster.engine ();
+  Alcotest.(check bool) "3 -> 2 accepted" true (Cluster.decommission_node cl 2);
+  Engine.run_all cl.Cluster.engine ();
+  Alcotest.(check int) "two members left" 2 (Cluster.member_count cl);
+  Alcotest.(check bool) "2 -> 1 refused" false (Cluster.decommission_node cl 1);
+  Alcotest.(check bool) "non-member refused" false (Cluster.decommission_node cl 3)
+
+(* Satellite: a replica install whose target crashed and rejoined
+   mid-copy is a stale-session stream. Tagged sessions reject it (and
+   count it); untagged sessions accept it and leave the divergence
+   signature — believed watermark caught up, durable watermark empty. *)
+let test_stale_install_rejected_when_tagged () =
+  let cfg = { Config.default with Config.session_tagging = true } in
+  let cl = Cluster.create ~seed:5 cfg in
+  for _ = 1 to 5 do
+    Lion_store.Replication.append cl.Cluster.replication ~part:0
+  done;
+  Cluster.add_replica cl ~part:0 ~node:3 ~on_ready:(fun () -> ());
+  (* Crash + rejoin before the 200 ms copy completes: the install's
+     session now predates node 3's incarnation. *)
+  Cluster.fail_node cl 3;
+  Cluster.recover_node cl 3;
+  Engine.run_all cl.Cluster.engine ();
+  Alcotest.(check bool) "install dropped" false
+    (Placement.has_secondary cl.Cluster.placement ~part:0 ~node:3);
+  Alcotest.(check int) "rejection counted" 1
+    (Lion_sim.Metrics.stale_ack_rejections cl.Cluster.metrics)
+
+let test_stale_install_accepted_when_untagged () =
+  let cl = Cluster.create ~seed:5 Config.default in
+  let repl = cl.Cluster.replication in
+  for _ = 1 to 5 do
+    Lion_store.Replication.append repl ~part:0
+  done;
+  Cluster.add_replica cl ~part:0 ~node:3 ~on_ready:(fun () -> ());
+  Cluster.fail_node cl 3;
+  Cluster.recover_node cl 3;
+  Engine.run_all cl.Cluster.engine ();
+  Alcotest.(check bool) "stale install accepted" true
+    (Placement.has_secondary cl.Cluster.placement ~part:0 ~node:3);
+  (* The corruption signature the divergence audit looks for. *)
+  Alcotest.(check int) "believed caught up" 5
+    (Lion_store.Replication.applied repl ~part:0 ~node:3);
+  Alcotest.(check int) "storage durably empty" 0
+    (Lion_store.Replication.durable repl ~part:0 ~node:3);
+  Alcotest.(check int) "nothing rejected" 0
+    (Lion_sim.Metrics.stale_ack_rejections cl.Cluster.metrics)
+
+(* Satellite: a node that was remastered away from (through Placement
+   directly, planner-style) while down must not resurrect its stale
+   demoted copy at recovery — recover_node purges it and counts it. *)
+let test_recover_purges_stale_secondary () =
+  let cl = Cluster.create ~seed:5 Config.default in
+  (* Partition 1: primary node 1, secondary node 2. *)
+  Cluster.fail_node cl 1;
+  Placement.remaster cl.Cluster.placement ~part:1 ~node:2;
+  Alcotest.(check bool) "demoted in place" true
+    (Placement.has_secondary cl.Cluster.placement ~part:1 ~node:1);
+  Cluster.recover_node cl 1;
+  Alcotest.(check bool) "stale copy purged" false
+    (Placement.has_secondary cl.Cluster.placement ~part:1 ~node:1);
+  Alcotest.(check int) "purge counted" 1
+    (Lion_sim.Metrics.replica_purges cl.Cluster.metrics);
+  Engine.run_all cl.Cluster.engine ();
+  Alcotest.(check bool) "no double purge" true
+    (Lion_sim.Metrics.replica_purges cl.Cluster.metrics = 1)
+
+(* Satellite: the remaster target dying mid-transfer must clear the
+   inflight flag and roll back the cooldown immediately, leaving the
+   completion timer a no-op. *)
+let test_remaster_cancelled_when_target_dies () =
+  let cfg = { Config.default with Config.replicas = 3 } in
+  let cl = Cluster.create ~seed:5 cfg in
+  (* Partition 0: primary 0, secondaries 1 and 2. *)
+  Alcotest.(check bool) "starts" true (Cluster.try_begin_remaster cl ~part:0 ~node:1);
+  Cluster.fail_node cl 1;
+  Alcotest.(check bool) "inflight cleared eagerly" false cl.Cluster.remaster_inflight.(0);
+  (* The cooldown was rolled back too: a retry to the surviving
+     secondary is admitted immediately, not [remaster_cooldown] later. *)
+  Alcotest.(check bool) "retry admitted at once" true
+    (Cluster.try_begin_remaster cl ~part:0 ~node:2);
+  Engine.run_all cl.Cluster.engine ();
+  Alcotest.(check int) "retry promoted" 2 (Placement.primary cl.Cluster.placement 0);
+  Alcotest.(check int) "only the retry counted" 1 cl.Cluster.remaster_count
+
+let prop_membership_interleaving =
+  QCheck.Test.make
+    ~name:
+      "any join/decommission/crash/rejoin interleaving converges to full replication"
+    ~count:40
+    QCheck.(
+      list_of_size (Gen.int_range 0 10)
+        (triple (int_range 0 3) (int_range 0 5) (float_range 0.0 300_000.0)))
+    (fun ops ->
+      let cfg, cl = mk_elastic () in
+      List.iter
+        (fun (kind, node, advance) ->
+          (match kind with
+          | 0 -> ignore (Cluster.join_node cl node)
+          | 1 ->
+              (* Keep enough members for the factor; decommission_node
+                 has its own live-eligible floor on top. *)
+              if Cluster.member_count cl > cfg.Config.replicas + 1 then
+                ignore (Cluster.decommission_node cl node)
+          | 2 -> Cluster.fail_node cl node
+          | _ -> Cluster.recover_node cl node);
+          Engine.run_until cl.Cluster.engine (Engine.now cl.Cluster.engine +. advance))
+        ops;
+      (* Rejoin every crashed member, then let the rebalancer converge. *)
+      Array.iteri
+        (fun n m -> if m && not (Cluster.alive cl n) then Cluster.recover_node cl n)
+        cl.Cluster.member;
+      Engine.run_all cl.Cluster.engine ();
+      let ok = ref true in
+      for part = 0 to Cluster.partition_count cl - 1 do
+        let prim = Placement.primary cl.Cluster.placement part in
+        let holders =
+          prim :: Placement.secondaries cl.Cluster.placement part
+          |> List.sort_uniq compare
+        in
+        (* Exactly one live primary, exactly [replicas] live copies. *)
+        ok := !ok && Cluster.alive cl prim;
+        ok := !ok && List.length holders = cfg.Config.replicas;
+        List.iter (fun n -> ok := !ok && Cluster.alive cl n) holders
+      done;
+      !ok)
+
 let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
 
 let () =
@@ -815,4 +988,21 @@ let () =
             test_fault_plan_drives_cluster;
         ] );
       qsuite "chaos-props" [ prop_fault_sequence_placement_consistent ];
+      ( "membership",
+        [
+          Alcotest.test_case "join populates" `Quick test_join_node_populates;
+          Alcotest.test_case "decommission drains fully" `Quick
+            test_decommission_drains_fully;
+          Alcotest.test_case "decommission floor refused" `Quick
+            test_decommission_floor_refused;
+          Alcotest.test_case "stale install rejected (tagged)" `Quick
+            test_stale_install_rejected_when_tagged;
+          Alcotest.test_case "stale install accepted (untagged)" `Quick
+            test_stale_install_accepted_when_untagged;
+          Alcotest.test_case "recovery purges stale secondary" `Quick
+            test_recover_purges_stale_secondary;
+          Alcotest.test_case "remaster cancelled on target death" `Quick
+            test_remaster_cancelled_when_target_dies;
+        ] );
+      qsuite "membership-props" [ prop_membership_interleaving ];
     ]

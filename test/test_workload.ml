@@ -70,7 +70,7 @@ let test_ycsb_neighbor_pairs_cross_nodes_initially () =
      paper's "100% distributed" premise. *)
   let gen = Ycsb.create { base with Ycsb.cross_ratio = 1.0 } in
   let placement =
-    Lion_store.Placement.create ~nodes:4 ~partitions:16 ~replicas:1 ~max_replicas:4
+    Lion_store.Placement.create ~nodes:4 ~partitions:16 ~replicas:1 ~max_replicas:4 ()
   in
   for _ = 1 to 100 do
     let t = Ycsb.next gen in
