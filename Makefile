@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench chaos audit elastic overload trace examples clean
+.PHONY: all build test bench perf perf-smoke chaos audit elastic overload trace examples clean
 
 all: build
 
@@ -12,6 +12,18 @@ test:
 
 bench:
 	dune exec bench/main.exe
+
+# Full perf run (see docs/PERF.md): every registered scenario under
+# bechamel, writing schema-stable BENCH_<date>.json in the repo root
+# and gating against the committed baseline.
+perf:
+	dune exec bin/perf_run.exe -- --baseline bench/perf_baseline.json
+
+# Quick CI variant: fewer samples, shorter quota, same scenarios and
+# the same gates (minor-words/event, calibrated wall p50, drain
+# speedup floor).
+perf-smoke:
+	dune exec bin/perf_run.exe -- --quick --baseline bench/perf_baseline.json
 
 # Fault-injection experiments at quick scale (see docs/FAULTS.md).
 chaos:

@@ -35,7 +35,19 @@ let run_experiments () =
   let selected =
     match only with
     | None -> Experiments.registry
-    | Some ids -> List.filter (fun (id, _, _) -> List.mem id ids) Experiments.registry
+    | Some ids ->
+        (* A typo'd id silently selecting nothing looks exactly like a
+           clean zero-experiment run — reject it loudly instead. *)
+        let known = List.map (fun (id, _, _) -> id) Experiments.registry in
+        (match List.filter (fun id -> not (List.mem id known)) ids with
+        | [] -> ()
+        | bad ->
+            Printf.eprintf
+              "LION_BENCH_ONLY: unknown experiment id%s %s\nvalid ids: %s\n"
+              (if List.length bad > 1 then "s" else "")
+              (String.concat ", " bad) (String.concat ", " known);
+            exit 2);
+        List.filter (fun (id, _, _) -> List.mem id ids) Experiments.registry
   in
   List.iter
     (fun (id, desc, f) ->

@@ -1,0 +1,93 @@
+(* Perf harness driver: runs the registered scenarios under bechamel
+   and writes a schema-stable BENCH_<date>.json; with --baseline it
+   also gates the fresh run against a committed baseline file
+   (docs/PERF.md). Exit codes: 0 ok, 1 gate failure, 2 usage/IO. *)
+
+module Scenario = Lion_perf.Scenario
+module Registry = Lion_perf.Registry
+module Report = Lion_perf.Report
+
+let today () =
+  let tm = Unix.localtime (Unix.time ()) in
+  Printf.sprintf "%04d%02d%02d" (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1)
+    tm.Unix.tm_mday
+
+let () =
+  let quick = ref false in
+  let out = ref "" in
+  let only = ref "" in
+  let baseline = ref "" in
+  let list = ref false in
+  let spec =
+    [
+      ("--quick", Arg.Set quick, " fewer samples (CI smoke mode)");
+      ("--out", Arg.Set_string out, "FILE output path (default BENCH_<date>.json)");
+      ( "--only",
+        Arg.Set_string only,
+        "NAMES comma-separated scenario subset to run" );
+      ( "--baseline",
+        Arg.Set_string baseline,
+        "FILE gate the fresh run against this bench file" );
+      ("--list", Arg.Set list, " list scenario names and exit");
+    ]
+  in
+  let usage = "perf_run [--quick] [--only a,b] [--out FILE] [--baseline FILE]" in
+  Arg.parse (Arg.align spec) (fun a -> raise (Arg.Bad ("unexpected " ^ a))) usage;
+  if !list then (
+    List.iter print_endline (Registry.names ());
+    exit 0);
+  let scenarios =
+    if !only = "" then Registry.all
+    else
+      String.split_on_char ',' !only
+      |> List.map (fun name ->
+             match Registry.find (String.trim name) with
+             | Some s -> s
+             | None ->
+                 Printf.eprintf "unknown scenario %S; valid: %s\n" name
+                   (String.concat ", " (Registry.names ()));
+                 exit 2)
+  in
+  let results =
+    List.map
+      (fun (s : Scenario.spec) ->
+        Printf.printf "running %-18s %s ...%!" s.Scenario.name s.Scenario.descr;
+        let t0 = Unix.gettimeofday () in
+        let r = Scenario.measure ~quick:!quick s in
+        Printf.printf " %.0f ns/op (p50), %d samples, %.1fs\n%!"
+          r.Scenario.p50_ns r.Scenario.samples
+          (Unix.gettimeofday () -. t0);
+        r)
+      scenarios
+  in
+  let path = if !out = "" then Printf.sprintf "BENCH_%s.json" (today ()) else !out in
+  Report.write ~path ~date:(today ()) ~quick:!quick results;
+  Printf.printf "wrote %s\n" path;
+  List.iter
+    (fun (r : Scenario.result) ->
+      Printf.printf
+        "  %-18s %12.0f ev/s %10.0f txn/s %8.2f w/ev  p50 %.0f ns/op\n"
+        r.Scenario.name r.Scenario.events_per_sec r.Scenario.txns_per_sec
+        r.Scenario.minor_words_per_event r.Scenario.p50_ns)
+    results;
+  (match Report.drain_speedup results with
+  | Some s -> Printf.printf "engine drain speedup vs seed: %.2fx\n" s
+  | None -> ());
+  if !baseline <> "" then (
+    let base =
+      try Report.load !baseline
+      with Sys_error e | Report.Parse_error e ->
+        Printf.eprintf "cannot load baseline: %s\n" e;
+        exit 2
+    in
+    let wall_gates = Sys.getenv_opt "LION_PERF_NO_WALL_GATE" = None in
+    if not wall_gates then
+      Printf.printf "wall-time gates disabled (LION_PERF_NO_WALL_GATE)\n";
+    let notes, failures =
+      Report.compare_against ~baseline:base ~current:results ~wall_gates
+    in
+    List.iter (fun n -> Printf.printf "note: %s\n" n) notes;
+    if failures <> [] then (
+      List.iter (fun f -> Printf.printf "FAIL: %s\n" f) failures;
+      exit 1);
+    Printf.printf "all perf gates pass against %s\n" !baseline)

@@ -65,6 +65,7 @@ type result = {
   unavail_seconds : float;
   time_to_recover : float;
   goodput_under_fault : float;
+  engine_events : int;
 }
 
 let degraded a = a < 0.9995
@@ -243,4 +244,5 @@ let run ?(seed = 1) ?(batch = false) ?(setup = fun _ -> ()) ?tracer ?history
     unavail_seconds;
     time_to_recover;
     goodput_under_fault;
+    engine_events = Engine.events_processed engine;
   }

@@ -90,6 +90,10 @@ type result = {
   goodput_under_fault : float;
       (** mean commits/s over the degraded seconds (0 when never
           degraded) *)
+  engine_events : int;
+      (** total simulation events executed over the whole run (incl.
+          warmup) — the denominator the perf harness uses to turn wall
+          time into events/sec *)
 }
 
 type trace_sink = {

@@ -1,74 +1,222 @@
-type 'a entry = { key : float; seq : int; value : 'a }
+(* Int-keyed 4-ary min-heap over a structure-of-arrays layout.
+
+   This is the event heap under the simulator's hot loop, so it is
+   built around three constraints:
+
+   - Zero allocation on the push/pop fast path. Keys, FIFO sequence
+     numbers and payload slot indices live in parallel flat int
+     arrays; pushing writes into slots and popping reads them back —
+     no per-entry record, no boxed key, no [option]/tuple on the raw
+     API.
+
+   - No write barrier while sifting. Payloads are parked once in a
+     side [vals] table and the heap entries carry only their slot
+     index, so the sift loops move immediates exclusively — a heap of
+     pointers would pay [caml_modify] on every level of every pop.
+
+   - Bit-exact compatibility with the float-keyed heap it replaced.
+     Keys are ints: an order-preserving bit-cast of the (non-negative)
+     float timestamp — [key_of_time a < key_of_time b] iff [a < b] and
+     the round-trip through [time_of_key] is exact. All heap
+     comparisons are immediate int compares, and the pop order (key,
+     then FIFO sequence at equal keys) is a total order, so the drain
+     sequence is identical to any correct stable-by-seq heap —
+     including the previous binary one.
+
+   The 4-ary shape halves the tree depth of a binary heap and keeps
+   each child scan inside one cache line of the key array. The
+   [unsafe_get]/[unsafe_set] in the sift loops are all on indices
+   bounded by [size] (checked on entry) or a parent/child index
+   derived from one. *)
 
 type 'a t = {
-  mutable data : 'a entry array;
+  mutable keys : int array; (* primary order: int-cast timestamps *)
+  mutable seqs : int array; (* FIFO tie-break at equal keys *)
+  mutable slots : int array; (* index of the payload in [vals] *)
+  mutable vals : 'a array; (* slot-addressed; freed slots hold stale refs *)
+  mutable free : int array; (* stack of recycled slots below [used] *)
+  mutable free_top : int;
+  mutable used : int; (* slot high-water mark *)
   mutable size : int;
   mutable next_seq : int;
 }
 
-let create () = { data = [||]; size = 0; next_seq = 0 }
+(* Keys must be non-negative (all engine timestamps are — the engine
+   clamps). A non-negative double's bit pattern occupies exactly the 63
+   low bits, and its unsigned ordering matches the float ordering; the
+   [- 2^62] bias shifts that range onto OCaml's signed 63-bit int
+   exactly, so the map is monotone, injective, and round-trips
+   bit-for-bit. [+. 0.0] normalises -0.0 to +0.0 first so the two zero
+   bit patterns cannot disagree with float ordering. *)
+let[@inline] key_of_time (t : float) : int =
+  Int64.to_int (Int64.sub (Int64.bits_of_float (t +. 0.0)) 0x4000000000000000L)
+
+let[@inline] time_of_key (k : int) : float =
+  Int64.float_of_bits (Int64.add (Int64.of_int k) 0x4000000000000000L)
+
+let create () =
+  {
+    keys = [||];
+    seqs = [||];
+    slots = [||];
+    vals = [||];
+    free = [||];
+    free_top = 0;
+    used = 0;
+    size = 0;
+    next_seq = 0;
+  }
 
 let length t = t.size
 let is_empty t = t.size = 0
 
-let entry_lt a b = a.key < b.key || (a.key = b.key && a.seq < b.seq)
-
-let grow t =
-  let cap = Array.length t.data in
+let grow t v =
+  let cap = Array.length t.keys in
   let ncap = if cap = 0 then 16 else cap * 2 in
-  if t.size > 0 then (
-    let nd = Array.make ncap t.data.(0) in
-    Array.blit t.data 0 nd 0 t.size;
-    t.data <- nd)
-  else t.data <- [||]
+  let nk = Array.make ncap 0
+  and ns = Array.make ncap 0
+  and nsl = Array.make ncap 0
+  and nf = Array.make ncap 0 in
+  let nv = Array.make ncap v in
+  Array.blit t.keys 0 nk 0 t.size;
+  Array.blit t.seqs 0 ns 0 t.size;
+  Array.blit t.slots 0 nsl 0 t.size;
+  Array.blit t.free 0 nf 0 t.free_top;
+  Array.blit t.vals 0 nv 0 t.used;
+  t.keys <- nk;
+  t.seqs <- ns;
+  t.slots <- nsl;
+  t.free <- nf;
+  t.vals <- nv
 
-let rec sift_up t i =
-  if i > 0 then (
-    let parent = (i - 1) / 2 in
-    if entry_lt t.data.(i) t.data.(parent) then (
-      let tmp = t.data.(i) in
-      t.data.(i) <- t.data.(parent);
-      t.data.(parent) <- tmp;
-      sift_up t parent))
+(* A freshly pushed entry carries the largest sequence number in the
+   heap, so at equal keys it never outranks an existing entry: sift-up
+   only needs the strict key compare. *)
+let push_key t key v =
+  if t.size = Array.length t.keys then grow t v;
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  let slot =
+    if t.free_top > 0 then (
+      let ft = t.free_top - 1 in
+      t.free_top <- ft;
+      Array.unsafe_get t.free ft)
+    else (
+      let s = t.used in
+      t.used <- s + 1;
+      s)
+  in
+  t.vals.(slot) <- v;
+  let keys = t.keys and seqs = t.seqs and slots = t.slots in
+  let i = ref t.size in
+  t.size <- t.size + 1;
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let p = (!i - 1) lsr 2 in
+    if key < Array.unsafe_get keys p then (
+      Array.unsafe_set keys !i (Array.unsafe_get keys p);
+      Array.unsafe_set seqs !i (Array.unsafe_get seqs p);
+      Array.unsafe_set slots !i (Array.unsafe_get slots p);
+      i := p)
+    else continue := false
+  done;
+  Array.unsafe_set keys !i key;
+  Array.unsafe_set seqs !i seq;
+  Array.unsafe_set slots !i slot
 
-let rec sift_down t i =
-  let l = (2 * i) + 1 and r = (2 * i) + 2 in
-  let smallest = ref i in
-  if l < t.size && entry_lt t.data.(l) t.data.(!smallest) then smallest := l;
-  if r < t.size && entry_lt t.data.(r) t.data.(!smallest) then smallest := r;
-  if !smallest <> i then (
-    let tmp = t.data.(i) in
-    t.data.(i) <- t.data.(!smallest);
-    t.data.(!smallest) <- tmp;
-    sift_down t !smallest)
+exception Empty
+
+let[@inline] min_key t = if t.size = 0 then raise Empty else Array.unsafe_get t.keys 0
+
+let[@inline] min_time t = time_of_key (min_key t)
+
+let pop_min t =
+  if t.size = 0 then raise Empty;
+  let keys = t.keys and seqs = t.seqs and slots = t.slots in
+  let slot = Array.unsafe_get slots 0 in
+  let res = Array.unsafe_get t.vals slot in
+  Array.unsafe_set t.free t.free_top slot;
+  t.free_top <- t.free_top + 1;
+  let n = t.size - 1 in
+  t.size <- n;
+  if n > 0 then (
+    (* Re-insert the last entry from the root, moving the smallest
+       child up until the entry fits. *)
+    let key = Array.unsafe_get keys n
+    and seq = Array.unsafe_get seqs n
+    and sl = Array.unsafe_get slots n in
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let c1 = (!i lsl 2) + 1 in
+      if c1 >= n then continue := false
+      else (
+        let best = ref c1 in
+        let kbest = ref (Array.unsafe_get keys c1) in
+        let last = if c1 + 3 < n - 1 then c1 + 3 else n - 1 in
+        for c = c1 + 1 to last do
+          let kc = Array.unsafe_get keys c in
+          if
+            kc < !kbest
+            || (kc = !kbest && Array.unsafe_get seqs c < Array.unsafe_get seqs !best)
+          then (
+            best := c;
+            kbest := kc)
+        done;
+        let b = !best in
+        let kb = !kbest in
+        if kb < key || (kb = key && Array.unsafe_get seqs b < seq) then (
+          Array.unsafe_set keys !i kb;
+          Array.unsafe_set seqs !i (Array.unsafe_get seqs b);
+          Array.unsafe_set slots !i (Array.unsafe_get slots b);
+          i := b)
+        else continue := false)
+    done;
+    Array.unsafe_set keys !i key;
+    Array.unsafe_set seqs !i seq;
+    Array.unsafe_set slots !i sl);
+  res
+
+(* ---- Float-keyed compatibility API (tests, non-hot-path users). ---- *)
 
 let push t key value =
-  let e = { key; seq = t.next_seq; value } in
-  t.next_seq <- t.next_seq + 1;
-  if t.size = Array.length t.data then (
-    if t.size = 0 then t.data <- Array.make 16 e else grow t);
-  t.data.(t.size) <- e;
-  t.size <- t.size + 1;
-  sift_up t (t.size - 1)
+  if not (key >= 0.0) then invalid_arg "Pqueue.push: key must be >= 0";
+  push_key t (key_of_time key) value
 
 let pop t =
   if t.size = 0 then None
   else (
-    let top = t.data.(0) in
-    t.size <- t.size - 1;
-    if t.size > 0 then (
-      t.data.(0) <- t.data.(t.size);
-      sift_down t 0);
-    Some (top.key, top.value))
+    let key = time_of_key t.keys.(0) in
+    let v = pop_min t in
+    Some (key, v))
 
-let peek t = if t.size = 0 then None else Some (t.data.(0).key, t.data.(0).value)
+let peek t =
+  if t.size = 0 then None else Some (time_of_key t.keys.(0), t.vals.(t.slots.(0)))
 
 let clear t =
   t.size <- 0;
-  t.data <- [||]
+  t.free_top <- 0;
+  t.used <- 0;
+  t.keys <- [||];
+  t.seqs <- [||];
+  t.slots <- [||];
+  t.vals <- [||];
+  t.free <- [||]
 
 let to_list t =
-  let copy = { data = Array.sub t.data 0 t.size; size = t.size; next_seq = 0 } in
+  let copy =
+    {
+      keys = Array.copy t.keys;
+      seqs = Array.copy t.seqs;
+      slots = Array.copy t.slots;
+      vals = Array.copy t.vals;
+      free = Array.copy t.free;
+      free_top = t.free_top;
+      used = t.used;
+      size = t.size;
+      next_seq = t.next_seq;
+    }
+  in
   let rec drain acc =
     match pop copy with None -> List.rev acc | Some (k, v) -> drain ((k, v) :: acc)
   in

@@ -1,9 +1,15 @@
-(** Mutable binary min-heap priority queue.
+(** Mutable 4-ary min-heap priority queue, int-keyed.
 
-    Used by the discrete-event engine (events keyed by time) and by the
-    workload analyzer (hottest-vertex queue uses it with negated keys).
-    Ties are broken by insertion order so that simulations are fully
-    deterministic. *)
+    This is the event heap under the simulator's hot loop. Keys are
+    ints — an order-preserving bit-cast of the (non-negative) float
+    timestamp — so every heap comparison is an immediate int compare
+    and the raw API ([push_key]/[pop_min]) allocates nothing. Ties are
+    broken by insertion order (FIFO) so that simulations are fully
+    deterministic: the pop order is the total order (key, seq), making
+    the drain sequence independent of heap shape or arity.
+
+    The float-keyed API ([push]/[pop]/[peek]) is retained for tests and
+    non-hot-path users; keys must be non-negative. *)
 
 type 'a t
 
@@ -12,8 +18,37 @@ val create : unit -> 'a t
 val length : 'a t -> int
 val is_empty : 'a t -> bool
 
+exception Empty
+(** Raised by the raw accessors ([min_key], [min_time], [pop_min]) on an
+    empty queue. *)
+
+val key_of_time : float -> int
+(** Order-preserving, exactly invertible map from a non-negative float
+    timestamp to an int heap key: [key_of_time a < key_of_time b] iff
+    [a < b], and [time_of_key (key_of_time t) = t] bit-for-bit
+    (with [-0.0] normalised to [+0.0]). *)
+
+val time_of_key : int -> float
+(** Inverse of [key_of_time]. *)
+
+val push_key : 'a t -> int -> 'a -> unit
+(** [push_key q key v] inserts [v] with int priority [key] (smaller
+    pops first; FIFO among equal keys). Allocation-free except when the
+    backing arrays grow. *)
+
+val min_key : 'a t -> int
+(** Smallest key in the queue. @raise Empty if the queue is empty. *)
+
+val min_time : 'a t -> float
+(** [time_of_key (min_key q)]. @raise Empty if the queue is empty. *)
+
+val pop_min : 'a t -> 'a
+(** Remove and return the minimum-key element, FIFO among equal keys.
+    Allocation-free. @raise Empty if the queue is empty. *)
+
 val push : 'a t -> float -> 'a -> unit
-(** [push q key v] inserts [v] with priority [key] (smaller pops first). *)
+(** [push q key v] inserts [v] with priority [key] (smaller pops first).
+    @raise Invalid_argument if [key] is negative or NaN. *)
 
 val pop : 'a t -> (float * 'a) option
 (** Remove and return the minimum-key element, FIFO among equal keys. *)

@@ -1,0 +1,222 @@
+(* The named perf scenarios behind [bin/perf_run.exe] / `make perf`.
+
+   Three layers, mirroring where the simulator spends its time:
+
+   - kernel micro: raw event-heap churn ([pqueue_churn]);
+   - engine micro: event-loop drains ([engine_drain] on the optimized
+     engine, [engine_drain_seed] on the frozen pre-optimization copy —
+     their ratio is the tracked speedup, and the seed scenario doubles
+     as a machine-speed probe for cross-machine baseline comparison),
+     plus [network_storm] and [metrics_record] for the two per-event
+     service layers;
+   - end-to-end: one small uniform-YCSB cell per protocol family
+     ([ycsb_2pc], [ycsb_star], [ycsb_lion]), where simulated txns/sec
+     is the headline number.
+
+   Scenario shapes are part of the BENCH_*.json contract: changing a
+   shape (chain count, op size, cell scale) invalidates comparison
+   against older files, so bump the scenario name if you must change
+   its shape. *)
+
+module Engine = Lion_sim.Engine
+module Pqueue = Lion_kernel.Pqueue
+module Network = Lion_sim.Network
+module Metrics = Lion_sim.Metrics
+module Runner = Lion_harness.Runner
+module Workloads = Lion_harness.Workloads
+module Config = Lion_store.Config
+
+(* ---- engine drain ------------------------------------------------ *)
+
+(* 16384 concurrent self-rescheduling timer chains — a cluster-scale
+   in-flight event population — hopping pseudo-randomly 1..8 µs ahead.
+   One op drains [drain_events] events. The same shape runs on both
+   engines; only the scheduling API differs (pre-allocated handler +
+   int payload vs the seed's closure per event, which is exactly the
+   per-event cost the optimization removed). *)
+let drain_chains = 16384
+let drain_events = 400_000
+let delays = [| 1.0; 2.0; 3.0; 4.0; 5.0; 6.0; 7.0; 8.0 |]
+
+let engine_drain () =
+  let e = Engine.create () in
+  let hops = ref 0 in
+  let handler = ref (fun _ -> ()) in
+  (handler :=
+     fun (i : int) ->
+       incr hops;
+       if !hops < drain_events then
+         Engine.schedule_apply e ~delay:(Array.unsafe_get delays (i land 7)) !handler i);
+  for i = 0 to drain_chains - 1 do
+    Engine.schedule_apply e ~delay:(Array.unsafe_get delays (i land 7)) !handler i
+  done;
+  Engine.run_all e ();
+  (Engine.events_processed e, 0)
+
+let engine_drain_seed () =
+  let e = Seed_engine.create () in
+  let hops = ref 0 in
+  let processed = ref 0 in
+  let handler = ref (fun _ -> ()) in
+  (handler :=
+     fun (i : int) ->
+       incr processed;
+       incr hops;
+       if !hops < drain_events then
+         Seed_engine.schedule e
+           ~delay:(Array.unsafe_get delays (i land 7))
+           (fun () -> !handler i));
+  for i = 0 to drain_chains - 1 do
+    Seed_engine.schedule e
+      ~delay:(Array.unsafe_get delays (i land 7))
+      (fun () -> !handler i)
+  done;
+  Seed_engine.run_all e ();
+  (!processed, 0)
+
+(* ---- pqueue churn ------------------------------------------------ *)
+
+(* Steady-state heap: pop the minimum, push it back a window ahead so
+   it lands near the leaves (the DES access pattern). Raw int-keyed
+   API; events = ops. *)
+let churn_occupancy = 16384
+let churn_ops = 400_000
+
+let pqueue_churn () =
+  let q = Pqueue.create () in
+  for i = 0 to churn_occupancy - 1 do
+    Pqueue.push_key q (i * 7) i
+  done;
+  for _ = 1 to churn_ops do
+    let v = Pqueue.pop_min q in
+    Pqueue.push_key q (Pqueue.min_key q + (churn_occupancy * 8)) v
+  done;
+  (churn_ops, 0)
+
+(* ---- network storm ----------------------------------------------- *)
+
+(* Relay ring: every delivery forwards to the next node until the
+   message budget is spent. Exercises [Network.send]'s pooled delivery
+   path (alloc/release of message records, fault-free branch). *)
+let storm_nodes = 64
+let storm_msgs = 200_000
+
+let network_storm () =
+  let e = Engine.create () in
+  let net = Network.create e in
+  let sent = ref 0 in
+  let rec relay src =
+    if !sent < storm_msgs then (
+      incr sent;
+      let dst = (src + 1) mod storm_nodes in
+      Network.send net ~src ~dst ~bytes:128 (fun () -> relay dst))
+  in
+  for i = 0 to storm_nodes - 1 do
+    relay (i * 7 mod storm_nodes)
+  done;
+  Engine.run_all e ();
+  (Engine.events_processed e, 0)
+
+(* ---- metrics record ---------------------------------------------- *)
+
+(* The per-commit accounting path: latency reservoir, phase breakdown,
+   per-second series. One op = [metrics_commits] record_commit calls
+   (plus a sprinkling of the cheap counters). *)
+let metrics_commits = 200_000
+
+let metrics_record () =
+  let e = Engine.create () in
+  let m = Metrics.create e in
+  let phases =
+    [ (Metrics.Execution, 120.0); (Metrics.Prepare, 60.0); (Metrics.Commit, 45.0) ]
+  in
+  for i = 1 to metrics_commits do
+    Metrics.record_commit m
+      ~latency:(200.0 +. float_of_int (i land 1023))
+      ~single_node:(i land 3 = 0) ~remastered:(i land 15 = 0) ~phases;
+    if i land 7 = 0 then Metrics.record_retry m;
+    if i land 31 = 0 then Metrics.record_abort m
+  done;
+  (metrics_commits, metrics_commits)
+
+(* ---- end-to-end YCSB cells --------------------------------------- *)
+
+(* One small uniform-YCSB cell (all-distributed transactions, as in
+   the fig6 ablation) per protocol family: blocking 2PC, Star's
+   batched full replication, and Lion's adaptive replica provision.
+   Scaled so one op is a few hundred ms of wall time. *)
+let ycsb_cell ~batch make () =
+  let cfg = Config.default in
+  let rc = { Runner.quick with warmup = 0.3; duration = 0.7 } in
+  let r =
+    Runner.run ~batch ~cfg ~make ~gen:(Workloads.ycsb ~cross:1.0 cfg) rc
+  in
+  (r.Runner.engine_events, r.Runner.commits)
+
+let ycsb_2pc = ycsb_cell ~batch:false (fun cl -> Lion_protocols.Twopc.create cl)
+let ycsb_star = ycsb_cell ~batch:true (fun cl -> Lion_protocols.Star.create cl)
+
+let ycsb_lion =
+  ycsb_cell ~batch:true (fun cl ->
+      Lion_core.Batch_mode.create ~name:"Lion"
+        ~config:{ Lion_core.Planner.default_config with Lion_core.Planner.predict = true; use_lstm = false }
+        cl)
+
+(* ------------------------------------------------------------------ *)
+
+let all : Scenario.spec list =
+  [
+    {
+      Scenario.name = "engine_drain";
+      descr =
+        Printf.sprintf
+          "optimized engine: drain %d events across %d timer chains"
+          drain_events drain_chains;
+      run = engine_drain;
+    };
+    {
+      name = "engine_drain_seed";
+      descr =
+        Printf.sprintf
+          "frozen seed engine, same drain (baseline + machine-speed probe)";
+      run = engine_drain_seed;
+    };
+    {
+      name = "pqueue_churn";
+      descr =
+        Printf.sprintf "raw heap pop+push at occupancy %d" churn_occupancy;
+      run = pqueue_churn;
+    };
+    {
+      name = "network_storm";
+      descr =
+        Printf.sprintf "%d-hop relay ring over %d nodes (pooled send path)"
+          storm_msgs storm_nodes;
+      run = network_storm;
+    };
+    {
+      name = "metrics_record";
+      descr = Printf.sprintf "%d record_commit calls" metrics_commits;
+      run = metrics_record;
+    };
+    {
+      name = "ycsb_2pc";
+      descr = "small uniform-YCSB cell, blocking 2PC";
+      run = ycsb_2pc;
+    };
+    {
+      name = "ycsb_star";
+      descr = "small uniform-YCSB cell, Star (batched full replication)";
+      run = ycsb_star;
+    };
+    {
+      name = "ycsb_lion";
+      descr = "small uniform-YCSB cell, Lion (adaptive replica provision)";
+      run = ycsb_lion;
+    };
+  ]
+
+let find name =
+  List.find_opt (fun (s : Scenario.spec) -> s.Scenario.name = name) all
+
+let names () = List.map (fun (s : Scenario.spec) -> s.Scenario.name) all

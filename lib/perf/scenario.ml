@@ -1,0 +1,104 @@
+(* One perf scenario = a named, deterministic unit of work (an "op")
+   measured under bechamel. An op is a whole sub-run — drain N events,
+   blast M messages, run one small YCSB cell — sized so a single op
+   takes milliseconds: bechamel then samples wall time and minor
+   allocation per op, and the op's fixed event/txn counts turn those
+   samples into events/sec, simulated txns/sec and minor-words/event.
+
+   Every scenario reports the same fields (the BENCH_*.json schema is
+   the same for micro and end-to-end scenarios); scenarios with no
+   simulated transactions report [txns_per_op = 0] and a zero
+   txns/sec rather than omitting the field. *)
+
+open Bechamel
+
+type spec = {
+  name : string;
+  descr : string;
+  run : unit -> int * int;
+      (* one op; returns (engine events executed, txns committed).
+         Must be deterministic: the counts are captured once and
+         assumed constant across samples. *)
+}
+
+type result = {
+  name : string;
+  descr : string;
+  samples : int;
+  events_per_op : int;
+  txns_per_op : int;
+  p50_ns : float; (* per op *)
+  p99_ns : float;
+  minor_words_per_op : float;
+  events_per_sec : float;
+  txns_per_sec : float;
+  minor_words_per_event : float;
+}
+
+let clock_label = Measure.label Toolkit.Instance.monotonic_clock
+let alloc_label = Measure.label Toolkit.Instance.minor_allocated
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else (
+    let r = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (floor r) and hi = int_of_float (ceil r) in
+    let frac = r -. floor r in
+    (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac))
+
+(* [quick] trades sample count for latency: it is the CI-smoke setting,
+   wide (>30%) gates absorb the extra variance. *)
+let measure ?(quick = false) spec =
+  (* One untimed op up front: warms caches and captures the op's
+     deterministic event/txn counts. *)
+  let events_per_op, txns_per_op = spec.run () in
+  let test =
+    Test.make ~name:spec.name (Staged.stage (fun () -> ignore (spec.run ())))
+  in
+  let elt =
+    match Test.elements test with
+    | [ e ] -> e
+    | _ -> invalid_arg "Scenario.measure: single test expected"
+  in
+  let cfg =
+    (* `Linear 0 keeps the run metric at one op per sample, so every
+       raw sample is directly one op's wall time and allocation. *)
+    Benchmark.cfg
+      ~limit:(if quick then 8 else 30)
+      ~quota:(Time.second (if quick then 5.0 else 30.0))
+      ~sampling:(`Linear 0) ~stabilize:true ~kde:None ()
+  in
+  let instances =
+    [ Toolkit.Instance.monotonic_clock; Toolkit.Instance.minor_allocated ]
+  in
+  let res = Benchmark.run cfg instances elt in
+  let samples = Array.length res.Benchmark.lr in
+  let per_run label m =
+    let runs = Measurement_raw.run m in
+    if runs <= 0.0 then 0.0 else Measurement_raw.get ~label m /. runs
+  in
+  let ns = Array.map (per_run clock_label) res.Benchmark.lr in
+  let words = Array.map (per_run alloc_label) res.Benchmark.lr in
+  Array.sort compare ns;
+  let p50_ns = percentile ns 50.0 and p99_ns = percentile ns 99.0 in
+  let minor_words_per_op =
+    if samples = 0 then 0.0
+    else Array.fold_left ( +. ) 0.0 words /. float_of_int samples
+  in
+  let per_sec count = if p50_ns <= 0.0 then 0.0 else float_of_int count *. 1e9 /. p50_ns in
+  {
+    name = spec.name;
+    descr = spec.descr;
+    samples;
+    events_per_op;
+    txns_per_op;
+    p50_ns;
+    p99_ns;
+    minor_words_per_op;
+    events_per_sec = per_sec events_per_op;
+    txns_per_sec = per_sec txns_per_op;
+    minor_words_per_event =
+      (if events_per_op = 0 then 0.0
+       else minor_words_per_op /. float_of_int events_per_op);
+  }

@@ -1,0 +1,49 @@
+(* Frozen copy of the seed DES engine (commit 61f7240) over
+   [Seed_pqueue]; see that file. Also serves as a machine-speed probe:
+   its ns/op against a committed baseline calibrates wall-time
+   regression gates across machines. Do not optimize. *)
+
+module Pqueue = Seed_pqueue
+
+type t = { mutable clock : float; events : (unit -> unit) Pqueue.t }
+
+let create () = { clock = 0.0; events = Pqueue.create () }
+let now t = t.clock
+
+let at t ~time f =
+  let time = if time < t.clock then t.clock else time in
+  Pqueue.push t.events time f
+
+let schedule t ~delay f =
+  let delay = if delay < 0.0 then 0.0 else delay in
+  at t ~time:(t.clock +. delay) f
+
+let run_until t deadline =
+  let continue = ref true in
+  while !continue do
+    match Pqueue.peek t.events with
+    | Some (time, _) when time <= deadline -> (
+        match Pqueue.pop t.events with
+        | Some (time, f) ->
+            t.clock <- time;
+            f ()
+        | None -> continue := false)
+    | _ -> continue := false
+  done;
+  if deadline > t.clock then t.clock <- deadline
+
+let run_all t ?(max_events = 100_000_000) () =
+  let remaining = ref max_events in
+  let continue = ref true in
+  while !continue && !remaining > 0 do
+    match Pqueue.pop t.events with
+    | Some (time, f) ->
+        t.clock <- time;
+        f ();
+        decr remaining
+    | None -> continue := false
+  done
+
+let pending t = Pqueue.length t.events
+let seconds s = s *. 1e6
+let ms x = x *. 1e3

@@ -1,0 +1,80 @@
+(* Frozen copy of the seed event heap (commit 61f7240), kept verbatim so
+   the perf harness can measure the optimized engine against the exact
+   pre-optimization baseline in the same process. Do not "fix" or
+   optimize this file. *)
+
+type 'a entry = { key : float; seq : int; value : 'a }
+
+type 'a t = {
+  mutable data : 'a entry array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { data = [||]; size = 0; next_seq = 0 }
+
+let length t = t.size
+let is_empty t = t.size = 0
+
+let entry_lt a b = a.key < b.key || (a.key = b.key && a.seq < b.seq)
+
+let grow t =
+  let cap = Array.length t.data in
+  let ncap = if cap = 0 then 16 else cap * 2 in
+  if t.size > 0 then (
+    let nd = Array.make ncap t.data.(0) in
+    Array.blit t.data 0 nd 0 t.size;
+    t.data <- nd)
+  else t.data <- [||]
+
+let rec sift_up t i =
+  if i > 0 then (
+    let parent = (i - 1) / 2 in
+    if entry_lt t.data.(i) t.data.(parent) then (
+      let tmp = t.data.(i) in
+      t.data.(i) <- t.data.(parent);
+      t.data.(parent) <- tmp;
+      sift_up t parent))
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && entry_lt t.data.(l) t.data.(!smallest) then smallest := l;
+  if r < t.size && entry_lt t.data.(r) t.data.(!smallest) then smallest := r;
+  if !smallest <> i then (
+    let tmp = t.data.(i) in
+    t.data.(i) <- t.data.(!smallest);
+    t.data.(!smallest) <- tmp;
+    sift_down t !smallest)
+
+let push t key value =
+  let e = { key; seq = t.next_seq; value } in
+  t.next_seq <- t.next_seq + 1;
+  if t.size = Array.length t.data then (
+    if t.size = 0 then t.data <- Array.make 16 e else grow t);
+  t.data.(t.size) <- e;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let pop t =
+  if t.size = 0 then None
+  else (
+    let top = t.data.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then (
+      t.data.(0) <- t.data.(t.size);
+      sift_down t 0);
+    Some (top.key, top.value))
+
+let peek t = if t.size = 0 then None else Some (t.data.(0).key, t.data.(0).value)
+
+let clear t =
+  t.size <- 0;
+  t.data <- [||]
+
+let to_list t =
+  let copy = { data = Array.sub t.data 0 t.size; size = t.size; next_seq = 0 } in
+  let rec drain acc =
+    match pop copy with None -> List.rev acc | Some (k, v) -> drain ((k, v) :: acc)
+  in
+  drain []

@@ -18,15 +18,40 @@ val schedule : t -> delay:float -> (unit -> unit) -> unit
 val at : t -> time:float -> (unit -> unit) -> unit
 (** [at t ~time f] runs [f] at absolute time [time] (clamped to now). *)
 
+val schedule_apply : t -> delay:float -> ('a -> unit) -> 'a -> unit
+(** [schedule_apply t ~delay f x] runs [f x] at [now t +. max 0. delay].
+    Hot-path variant of [schedule]: the handler [f] is typically a
+    pre-allocated closure and [x] a pooled record, so scheduling costs
+    one small variant cell instead of a fresh closure per event. *)
+
+val at_apply : t -> time:float -> ('a -> unit) -> 'a -> unit
+(** [at_apply t ~time f x] runs [f x] at absolute [time] (clamped). *)
+
 val run_until : t -> float -> unit
 (** Process events until the queue is empty or the next event is past
     the deadline; leaves [now] at the deadline. *)
 
 val run_all : t -> ?max_events:int -> unit -> unit
-(** Drain the whole queue (guarded by [max_events], default 100M). *)
+(** Drain the whole queue (guarded by [max_events], default 100M). If
+    the budget is exhausted with events still pending — a runaway event
+    loop — a warning is printed to stderr and [last_run_exhausted]
+    reads [true] until the next [run_all]. *)
+
+val last_run_exhausted : t -> bool
+(** Whether the most recent [run_all] stopped on its [max_events]
+    budget with events still pending, rather than draining cleanly. *)
 
 val pending : t -> int
 (** Number of queued events. *)
+
+val events_processed : t -> int
+(** Total events executed since [create] — the denominator for
+    per-event perf accounting. *)
+
+val clamped_schedules : t -> int
+(** Number of schedules that asked for a time in the past (absolute
+    [at] before [now], or a negative [delay]) and were clamped to the
+    current clock. Each one is a latent scheduling bug upstream. *)
 
 val seconds : float -> float
 (** Convert seconds to engine time units. [seconds 1.0 = 1e6]. *)

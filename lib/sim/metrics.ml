@@ -73,15 +73,22 @@ let create ?(seed = 42) engine =
     avail_series = Timeseries.create ~interval:(Engine.seconds 1.0);
   }
 
+(* Recursive rather than [List.iter f]: the commit path runs once per
+   transaction, and the iterator closure capturing [t] was a per-commit
+   allocation for nothing. *)
+let rec add_phases t = function
+  | [] -> ()
+  | (p, d) :: rest ->
+      t.phase_time.(phase_index p) <- t.phase_time.(phase_index p) +. d;
+      add_phases t rest
+
 let record_commit ?(late = false) t ~latency ~single_node ~remastered ~phases =
   t.commits <- t.commits + 1;
   if single_node then t.single_node <- t.single_node + 1;
   if remastered then t.remastered <- t.remastered + 1;
   Stats.Reservoir.add t.latency latency;
   t.total_latency <- t.total_latency +. latency;
-  List.iter
-    (fun (p, d) -> t.phase_time.(phase_index p) <- t.phase_time.(phase_index p) +. d)
-    phases;
+  add_phases t phases;
   Timeseries.incr t.series ~time:(Engine.now t.engine);
   if not late then Timeseries.incr t.good_series ~time:(Engine.now t.engine)
 
@@ -108,6 +115,13 @@ let deadline_giveups t = t.deadline_giveups
 let deadline_misses t = t.deadline_misses
 let stale_ack_rejections t = t.stale_acks
 let replica_purges t = t.replica_purges
+
+(* Past-dated schedules the engine clamped to [now]: each one is a
+   scheduling bug somewhere upstream (a negative delay, an absolute
+   time computed from a stale clock). Surfaced here so experiment
+   summaries and tests can assert the count stays where they expect it
+   instead of the clamp silently rewriting history. *)
+let schedule_clamps t = Engine.clamped_schedules t.engine
 
 let note_availability t ~frac =
   Timeseries.add t.avail_series ~time:(Engine.now t.engine) frac

@@ -90,6 +90,12 @@ val deadline_misses : t -> int
 val stale_ack_rejections : t -> int
 val replica_purges : t -> int
 
+val schedule_clamps : t -> int
+(** Past-dated schedules the engine clamped to [now] since [create] —
+    each one is a scheduling bug somewhere upstream (negative delay, or
+    an absolute time computed from a stale clock). Surfaced so
+    experiment summaries and tests can assert the count. *)
+
 val note_availability : t -> frac:float -> unit
 (** Record a point-in-time availability sample (0..1) into the
     per-second series — the runner samples once per simulated second. *)

@@ -1,5 +1,15 @@
 type lease = { acquired_at : float; mutable released : bool }
 
+(* Pooled completion record for [submit]: the work-done event is
+   dispatched through [Engine.schedule_apply] with one of these instead
+   of a closure capturing the lease — recycled on completion, intrusive
+   free list, no allocation per completion. *)
+type job = { mutable job_lease : lease; mutable job_k : unit -> unit; mutable job_next : job }
+
+let nop () = ()
+let nil_lease = { acquired_at = 0.0; released = true }
+let rec nil_job = { job_lease = nil_lease; job_k = nop; job_next = nil_job }
+
 type shed_policy =
   | Reject_newest
   | Codel of { target : float; interval : float }
@@ -31,29 +41,9 @@ type t = {
   (* CoDel bookkeeping: when the head's sojourn first exceeded the
      target (None while at/under target or the queue is empty). *)
   mutable above_since : float option;
+  mutable free_jobs : job;
+  mutable finish : job -> unit; (* tied to [t] once, in [create] *)
 }
-
-let create ?(queue_cap = 0) ?(policy = Reject_newest)
-    ?(on_shed = fun () -> ()) engine ~capacity =
-  assert (capacity > 0);
-  {
-    engine;
-    cap = capacity;
-    queue_cap;
-    policy;
-    notify_shed = on_shed;
-    busy = 0;
-    waiting = Queue.create ();
-    waiting_hi = Queue.create ();
-    busy_time = 0.0;
-    completed = 0;
-    window_start = Engine.now engine;
-    alive = true;
-    sheds = 0;
-    queue_wait = 0.0;
-    max_queue = 0;
-    above_since = None;
-  }
 
 let capacity t = t.cap
 let alive t = t.alive
@@ -130,12 +120,57 @@ let release t lease =
      and anything that raced in since is shed on arrival. *)
   if t.alive then match next_waiter t with None -> () | Some w -> grant t w
 
+let finish_job t j =
+  let lease = j.job_lease and k = j.job_k in
+  j.job_lease <- nil_lease;
+  j.job_k <- nop;
+  j.job_next <- t.free_jobs;
+  t.free_jobs <- j;
+  release t lease;
+  k ()
+
+let alloc_job t ~lease ~k =
+  let j = t.free_jobs in
+  if j == nil_job then { job_lease = lease; job_k = k; job_next = nil_job }
+  else (
+    t.free_jobs <- j.job_next;
+    j.job_next <- nil_job;
+    j.job_lease <- lease;
+    j.job_k <- k;
+    j)
+
+let create ?(queue_cap = 0) ?(policy = Reject_newest)
+    ?(on_shed = fun () -> ()) engine ~capacity =
+  assert (capacity > 0);
+  let t =
+    {
+      engine;
+      cap = capacity;
+      queue_cap;
+      policy;
+      notify_shed = on_shed;
+      busy = 0;
+      waiting = Queue.create ();
+      waiting_hi = Queue.create ();
+      busy_time = 0.0;
+      completed = 0;
+      window_start = Engine.now engine;
+      alive = true;
+      sheds = 0;
+      queue_wait = 0.0;
+      max_queue = 0;
+      above_since = None;
+      free_jobs = nil_job;
+      finish = ignore;
+    }
+  in
+  t.finish <- (fun j -> finish_job t j);
+  t
+
 let submit t ?prio ?on_shed ~work k =
   let work = if work < 0.0 then 0.0 else work in
   acquire t ?prio ?on_shed (fun lease ->
-      Engine.schedule t.engine ~delay:work (fun () ->
-          release t lease;
-          k ()))
+      Engine.schedule_apply t.engine ~delay:work t.finish (alloc_job t ~lease ~k))
 
 let kill t =
   if t.alive then (

@@ -117,6 +117,7 @@ let test_result_rows_width () =
       unavail_seconds = 0.0;
       time_to_recover = infinity;
       goodput_under_fault = 0.0;
+      engine_events = 0;
     }
   in
   let header, rows = Export.result_rows [ ("x", r) ] in

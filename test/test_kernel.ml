@@ -182,6 +182,75 @@ let test_pqueue_to_list_preserves () =
   Alcotest.(check int) "queue intact" 3 (Pqueue.length q);
   Alcotest.(check (list int)) "sorted snapshot" [ 1; 2; 3 ] (List.map snd snapshot)
 
+(* The raw int-keyed API is what the engine's hot loop runs on: pops
+   must come out nondecreasing, and among equal keys strictly in push
+   order, across interleaved pushes and pops. Keys are drawn from a
+   tiny range so collisions (the FIFO-critical case) are common. *)
+let test_pqueue_raw_heap_property =
+  QCheck.Test.make ~name:"raw int heap pops nondecreasing, FIFO at ties" ~count:300
+    QCheck.(list (pair (int_range 0 7) bool))
+    (fun script ->
+      let q = Pqueue.create () in
+      let counter = ref 0 in
+      let popped = ref [] in
+      let push key =
+        incr counter;
+        Pqueue.push_key q key (key, !counter)
+      in
+      let pop () =
+        if not (Pqueue.is_empty q) then popped := Pqueue.pop_min q :: !popped
+      in
+      List.iter (fun (key, do_pop) -> push key; if do_pop then pop ()) script;
+      let script_pops = List.length !popped in
+      while not (Pqueue.is_empty q) do pop () done;
+      let order = List.rev !popped in
+      (* Every pushed element came back out... *)
+      List.length order = !counter
+      (* ...and by push order at equal keys. Pops interleaved with
+         pushes can't be globally key-sorted, but an equal-key pair is
+         always popped in push order: the earlier element is in the
+         heap whenever the later one is. *)
+      && List.for_all
+           (fun ((k, s), later) ->
+             List.for_all (fun (k', s') -> k' <> k || s' > s) later)
+           (List.mapi
+              (fun i e -> (e, List.filteri (fun j _ -> j > i) order))
+              order)
+      &&
+      (* The final drain (no pushes interleaved) is key-sorted. *)
+      let rec sorted = function
+        | (k1, _) :: ((k2, _) :: _ as rest) -> k1 <= k2 && sorted rest
+        | _ -> true
+      in
+      sorted (List.filteri (fun i _ -> i >= script_pops) order))
+
+(* The heap can only replicate the old float heap's drain order if the
+   int key cast is order-preserving and exactly invertible. *)
+let test_pqueue_key_bijection =
+  QCheck.Test.make ~name:"key_of_time order-isomorphic and exact" ~count:500
+    QCheck.(pair (float_range 0.0 1e12) (float_range 0.0 1e12))
+    (fun (a, b) ->
+      let ka = Pqueue.key_of_time a and kb = Pqueue.key_of_time b in
+      Pqueue.time_of_key ka = a
+      && Pqueue.time_of_key kb = b
+      && compare ka kb = compare a b)
+
+let test_pqueue_raw_drain_matches_float_api () =
+  (* Same keys through both APIs must drain in the same order. *)
+  let keys = [ 7.25; 0.0; 3.5; 3.5; 1e9; 0.0; 42.125; 3.5 ] in
+  let qf = Pqueue.create () and qi = Pqueue.create () in
+  List.iteri (fun i k -> Pqueue.push qf k i) keys;
+  List.iteri (fun i k -> Pqueue.push_key qi (Pqueue.key_of_time k) i) keys;
+  let rec drain q acc =
+    if Pqueue.is_empty q then List.rev acc else drain q (Pqueue.pop_min q :: acc)
+  in
+  Alcotest.(check (list int)) "identical drain order" (drain qf []) (drain qi [])
+
+let test_pqueue_negative_key_rejected () =
+  let q = Pqueue.create () in
+  Alcotest.check_raises "negative key" (Invalid_argument "Pqueue.push: key must be >= 0")
+    (fun () -> Pqueue.push q (-1.0) ())
+
 (* --- stats --- *)
 
 let test_running_moments () =
@@ -337,8 +406,17 @@ let () =
           Alcotest.test_case "empty behaviour" `Quick test_pqueue_empty;
           Alcotest.test_case "peek non-destructive" `Quick test_pqueue_peek_does_not_remove;
           Alcotest.test_case "to_list sorted snapshot" `Quick test_pqueue_to_list_preserves;
+          Alcotest.test_case "raw drain matches float API" `Quick
+            test_pqueue_raw_drain_matches_float_api;
+          Alcotest.test_case "negative key rejected" `Quick
+            test_pqueue_negative_key_rejected;
         ] );
-      qsuite "pqueue-props" [ test_pqueue_heap_property ];
+      qsuite "pqueue-props"
+        [
+          test_pqueue_heap_property;
+          test_pqueue_raw_heap_property;
+          test_pqueue_key_bijection;
+        ];
       ( "stats",
         [
           Alcotest.test_case "running moments" `Quick test_running_moments;

@@ -76,6 +76,54 @@ let test_engine_units () =
   Alcotest.(check (float 1e-9)) "1 second" 1e6 (Engine.seconds 1.0);
   Alcotest.(check (float 1e-9)) "1 ms" 1e3 (Engine.ms 1.0)
 
+let test_engine_apply_scheduling () =
+  let e = Engine.create () in
+  let log = ref [] in
+  let record (x : int) = log := (x, Engine.now e) :: !log in
+  Engine.schedule_apply e ~delay:2.0 record 1;
+  Engine.at_apply e ~time:1.0 record 2;
+  Engine.run_all e ();
+  Alcotest.(check (list (pair int (float 1e-9))))
+    "apply events fire in time order with their payloads"
+    [ (2, 1.0); (1, 2.0) ] (List.rev !log);
+  Alcotest.(check int) "events counted" 2 (Engine.events_processed e)
+
+let test_engine_run_all_exhaustion () =
+  let e = Engine.create () in
+  (* A self-perpetuating event loop: every execution schedules the
+     next, so only the budget can stop the drain. *)
+  let rec tick () = Engine.schedule e ~delay:1.0 tick in
+  Engine.schedule e ~delay:1.0 tick;
+  Engine.run_all e ~max_events:50 ();
+  Alcotest.(check bool) "flagged as exhausted" true (Engine.last_run_exhausted e);
+  Alcotest.(check int) "stopped at the budget" 50 (Engine.events_processed e);
+  Alcotest.(check bool) "events still pending" true (Engine.pending e > 0);
+  (* A clean drain resets the flag. *)
+  let e2 = Engine.create () in
+  Engine.schedule e2 ~delay:1.0 (fun () -> ());
+  Engine.run_all e2 ();
+  Alcotest.(check bool) "clean drain not exhausted" false
+    (Engine.last_run_exhausted e2)
+
+let test_engine_clamp_counting () =
+  let e = Engine.create () in
+  Alcotest.(check int) "starts at zero" 0 (Engine.clamped_schedules e);
+  Engine.schedule e ~delay:10.0 (fun () -> ());
+  Engine.run_all e ();
+  Alcotest.(check int) "forward schedules don't count" 0
+    (Engine.clamped_schedules e);
+  Engine.at e ~time:1.0 (fun () -> ());
+  (* past-dated *)
+  Engine.schedule e ~delay:(-2.0) (fun () -> ());
+  (* negative delay *)
+  Engine.run_all e ();
+  Alcotest.(check int) "one past-dated at + one negative delay" 2
+    (Engine.clamped_schedules e);
+  (* ...and Metrics surfaces the same count. *)
+  let m = Metrics.create e in
+  Alcotest.(check int) "metrics surfaces engine clamps" 2
+    (Metrics.schedule_clamps m)
+
 (* --- server --- *)
 
 let test_server_serial_queue () =
@@ -678,6 +726,11 @@ let () =
           Alcotest.test_case "negative delay clamped" `Quick test_engine_negative_delay_clamped;
           Alcotest.test_case "absolute scheduling" `Quick test_engine_at_absolute;
           Alcotest.test_case "unit helpers" `Quick test_engine_units;
+          Alcotest.test_case "apply scheduling" `Quick test_engine_apply_scheduling;
+          Alcotest.test_case "run_all exhaustion flagged" `Quick
+            test_engine_run_all_exhaustion;
+          Alcotest.test_case "past-dated clamps counted" `Quick
+            test_engine_clamp_counting;
         ] );
       ( "server",
         [
