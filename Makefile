@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench perf perf-smoke chaos audit elastic overload trace examples clean
+.PHONY: all build test bench perf perf-smoke chaos audit fuzz elastic overload trace examples clean
 
 all: build
 
@@ -40,6 +40,18 @@ audit:
 	dune exec bin/audit_run.exe -- --proto lion --nemesis overload --overload \
 		--seconds 2
 	dune exec bin/audit_run.exe -- --assert-rejoin-safe
+
+# Coverage-guided fault-schedule fuzzing (see docs/FUZZING.md): a
+# seeded campaign over random fault schedules, checked for safety and
+# liveness, then the planted-bug gate — with the phantom-secondary bug
+# re-planted the fuzzer must find it and shrink the repro to <=3 ops,
+# and with the flag off the same budget must audit clean.
+fuzz:
+	dune exec bin/fuzz_run.exe -- --seed 7 --rounds 60 \
+		--protos lion-batch,lion,2pc --shrink --assert-clean
+	dune exec bin/fuzz_run.exe -- --seed 7 --rounds 60 \
+		--protos lion-batch,lion,2pc --reintroduce-phantom --shrink \
+		--assert-finds-bug
 
 # Elastic-membership experiment (see docs/MEMBERSHIP.md): the LSTM
 # forecaster drives node join/decommission over a diurnal cycle while

@@ -70,10 +70,14 @@ let usage ~nodes () =
   Printf.eprintf
     "usage: audit_run [--proto NAME|all] [--nemesis NAME|all] [--seed N]\n\
     \                 [--seconds F] [--clients N] [--cross F] [--skew F]\n\
-    \                 [--overload] [--rejoin-safe] [--assert-rejoin-safe] [-v]\n\
+    \                 [--overload] [--rejoin-safe] [--assert-rejoin-safe]\n\
+    \                 [--liveness] [-v]\n\
      --overload runs with every overload-protection knob on (bounded\n\
      queues, shedding, retry budgets, breakers, deadlines)\n\
      --rejoin-safe turns on replication session tagging\n\
+     --liveness also fails a combination whose liveness audit finds\n\
+     wedges (stuck txns, pinned breakers, parked partitions, ...);\n\
+     an exhausted event budget always fails — the audit was truncated\n\
      --assert-rejoin-safe checks the crash-rejoin nemesis both ways:\n\
      divergence without tagging, clean with it (lion, star, 2pc)\n\
      protocols: all, %s\n\
@@ -135,6 +139,7 @@ let () =
   let overload = ref false in
   let rejoin_safe = ref false in
   let assert_rejoin = ref false in
+  let liveness_gate = ref false in
   let nodes = Config.default.Config.nodes in
   let rec parse = function
     | [] -> ()
@@ -168,6 +173,9 @@ let () =
     | "--assert-rejoin-safe" :: rest ->
         assert_rejoin := true;
         parse rest
+    | "--liveness" :: rest ->
+        liveness_gate := true;
+        parse rest
     | "-v" :: rest | "--verbose" :: rest ->
         verbose := true;
         parse rest
@@ -197,8 +205,8 @@ let () =
     else pick (nemeses ~nodes ~seed:!seed) !nemesis
   in
   let failures = ref 0 in
-  Printf.printf "%-10s  %-16s  %7s  %6s  %9s  %7s  %6s  %s\n" "protocol"
-    "nemesis" "commits" "aborts" "anomalies" "behind" "avail" "verdict";
+  Printf.printf "%-10s  %-16s  %7s  %6s  %9s  %7s  %6s  %6s  %s\n" "protocol"
+    "nemesis" "commits" "aborts" "anomalies" "behind" "wedged" "avail" "verdict";
   List.iter
     (fun (pname, make) ->
       List.iter
@@ -209,12 +217,21 @@ let () =
               ~gen:(Workloads.ycsb ~seed:!seed ~skew:!skew ~cross:!cross cfg)
               ~nemesis:nem ()
           in
-          let ok = Drive.passed o in
+          (* An exhausted event budget always fails: the drain never
+             reached quiescence, so the safety verdict above was taken
+             on a truncated history. The liveness audit as a whole is
+             opt-in ([--liveness]) because some nemeses wedge clusters
+             by design. *)
+          let ok =
+            (if !liveness_gate then Drive.healthy o else Drive.passed o)
+            && not o.Drive.exhausted
+          in
           if not ok then incr failures;
-          Printf.printf "%-10s  %-16s  %7d  %6d  %9d  %7d  %6.3f  %s\n" pname
-            nname o.Drive.commits o.Drive.aborts
+          Printf.printf "%-10s  %-16s  %7d  %6d  %9d  %7d  %6d  %6.3f  %s\n"
+            pname nname o.Drive.commits o.Drive.aborts
             (List.length o.Drive.check.Checker.anomalies)
             (List.length o.Drive.divergence.Divergence.findings)
+            (List.length o.Drive.liveness.Lion_audit.Liveness.findings)
             o.Drive.min_availability
             (if ok then "PASS" else "FAIL");
           if !verbose || not ok then

@@ -5,8 +5,13 @@
 
    Usage: dune exec bin/debug_chaos.exe -- [crashed] [fail_s] [recover_s] [total_s]
                                            [--min-availability F] [--max-anomalies N]
+                                           [--json]
    where [crashed] is how many nodes (1, 2, ...) crash at [fail_s]
    (nodes 1..crashed) and rejoin at [recover_s].
+
+   [--json] replaces the human-readable table with one JSON summary
+   object on stdout — for scripts that diff or plot chaos runs. The
+   default text output is untouched (CI diffs it byte-for-byte).
 
    The threshold flags turn the tool into a CI gate: the run records a
    consistency-audit history, and the exit status is non-zero if the
@@ -25,6 +30,7 @@ module Workloads = Lion_harness.Workloads
 let () =
   let min_avail = ref neg_infinity in
   let max_anomalies = ref max_int in
+  let json = ref false in
   let positional = ref [] in
   let rec parse = function
     | [] -> ()
@@ -33,6 +39,9 @@ let () =
         parse rest
     | "--max-anomalies" :: v :: rest ->
         max_anomalies := int_of_string v;
+        parse rest
+    | "--json" :: rest ->
+        json := true;
         parse rest
     | v :: rest ->
         positional := v :: !positional;
@@ -70,33 +79,67 @@ let () =
       ~gen:(Workloads.ycsb ~cross:0.5 cfg)
       { Runner.quick with warmup = 0.0; duration = total; tick_every = 1.0 }
   in
-  Printf.printf "second  k txn/s  availability\n";
-  Array.iteri
-    (fun i tput ->
-      if i < int_of_float total then
-        let a =
-          if i < Array.length r.Runner.availability then r.Runner.availability.(i)
-          else nan
-        in
-        Printf.printf "%6d  %7.1f  %.4f\n" (i + 1) (tput /. 1000.0) a)
-    r.Runner.throughput_series;
-  Printf.printf
-    "timeouts %d  retries %d  drops %d  unavail %.1fs  recovery %s  goodput %.1fk\n"
-    r.Runner.timeouts r.Runner.retries r.Runner.drops r.Runner.unavail_seconds
-    (if Float.is_finite r.Runner.time_to_recover then
-       Printf.sprintf "%.0fs" r.Runner.time_to_recover
-     else "not yet")
-    (r.Runner.goodput_under_fault /. 1000.0);
+  let anomalies =
+    Option.map
+      (fun h ->
+        let report = Checker.check (History.events h) in
+        (report, List.length report.Checker.anomalies))
+      history
+  in
+  if !json then begin
+    (* One machine-readable summary object; 1e-9 rounding keeps the
+       encoding of floats stable across identical runs. *)
+    let fl v = Printf.sprintf "%.9g" v in
+    let series to_s arr =
+      String.concat ","
+        (List.filteri
+           (fun i _ -> i < int_of_float total)
+           (Array.to_list (Array.map to_s arr)))
+    in
+    Printf.printf
+      "{\"crashed\":%d,\"fail_s\":%s,\"recover_s\":%s,\"total_s\":%s,\n\
+      \ \"throughput_txn_s\":[%s],\n\
+      \ \"availability\":[%s],\n\
+      \ \"timeouts\":%d,\"retries\":%d,\"drops\":%d,\"unavail_s\":%s,\n\
+      \ \"recovery_s\":%s,\"goodput_txn_s\":%s,\"anomalies\":%s}\n"
+      crashed (fl fail_s) (fl recover_s) (fl total)
+      (series (fun v -> fl v) r.Runner.throughput_series)
+      (series (fun v -> fl v) r.Runner.availability)
+      r.Runner.timeouts r.Runner.retries r.Runner.drops
+      (fl r.Runner.unavail_seconds)
+      (if Float.is_finite r.Runner.time_to_recover then
+         fl r.Runner.time_to_recover
+       else "null")
+      (fl r.Runner.goodput_under_fault)
+      (match anomalies with None -> "null" | Some (_, n) -> string_of_int n)
+  end
+  else begin
+    Printf.printf "second  k txn/s  availability\n";
+    Array.iteri
+      (fun i tput ->
+        if i < int_of_float total then
+          let a =
+            if i < Array.length r.Runner.availability then r.Runner.availability.(i)
+            else nan
+          in
+          Printf.printf "%6d  %7.1f  %.4f\n" (i + 1) (tput /. 1000.0) a)
+      r.Runner.throughput_series;
+    Printf.printf
+      "timeouts %d  retries %d  drops %d  unavail %.1fs  recovery %s  goodput %.1fk\n"
+      r.Runner.timeouts r.Runner.retries r.Runner.drops r.Runner.unavail_seconds
+      (if Float.is_finite r.Runner.time_to_recover then
+         Printf.sprintf "%.0fs" r.Runner.time_to_recover
+       else "not yet")
+      (r.Runner.goodput_under_fault /. 1000.0)
+  end;
   let failed = ref false in
-  (match history with
+  (match anomalies with
   | None -> ()
-  | Some h ->
-      let report = Checker.check (History.events h) in
-      let n = List.length report.Checker.anomalies in
-      Printf.printf "audit: %d events, %d anomalies\n"
-        report.Checker.events n;
+  | Some (report, n) ->
+      if not !json then
+        Printf.printf "audit: %d events, %d anomalies\n" report.Checker.events n;
       if n > !max_anomalies then (
-        Format.printf "%a@." Checker.pp_report report;
+        if not !json then Format.printf "%a@." Checker.pp_report report;
         Printf.printf "FAIL: %d anomalies > --max-anomalies %d\n" n !max_anomalies;
         failed := true));
   if !min_avail > neg_infinity then (

@@ -11,6 +11,7 @@ type outcome = {
   history : History.t;
   check : Checker.report;
   divergence : Divergence.report;
+  liveness : Liveness.report;
   submitted : int;
   completed : int;
   commits : int;
@@ -19,25 +20,31 @@ type outcome = {
   resyncs : int;
   stale_rejections : int;
   replica_purges : int;
+  exhausted : bool;
+  pending_events : int;
   final_time : float;
 }
 
 let passed o = Checker.serializable o.check && Divergence.clean o.divergence
+let healthy o = passed o && Liveness.clean o.liveness
 
 let pp_outcome fmt o =
   Format.fprintf fmt
-    "@[<v>%d submitted, %d completed, %d commits, %d aborts, min availability %.3f, %d resyncs, end t=%.0fus@,%a%a@]"
+    "@[<v>%d submitted, %d completed, %d commits, %d aborts, min availability %.3f, %d resyncs, end t=%.0fus@,%a%a@,%a@]"
     o.submitted o.completed o.commits o.aborts o.min_availability o.resyncs
     o.final_time Checker.pp_report o.check Divergence.pp_report o.divergence
+    Liveness.pp_report o.liveness
 
 (* Unlike the throughput harness's closed loop — which reschedules
    clients forever and so never quiesces — audit clients stop issuing
    at the horizon. Everything in flight then runs to completion
    ([Engine.run_all]): retries resolve, elections finish, log ships
    land, anti-entropy repairs terminate. Only at that point are the
-   checker and the divergence audit meaningful. *)
+   checker, the divergence audit and the liveness audit meaningful. *)
 let run ?(seed = 1) ?(clients = 8) ?(duration = 4.0) ?(nemesis_at = 1.0)
-    ?tracer ?(max_events = 50_000_000) ~cfg ~make ~gen ~nemesis () =
+    ?tracer ?(max_events = 50_000_000) ?(actions = [])
+    ?(quiesce_slack = Engine.seconds 10.0) ?(observe = fun _ -> ()) ~cfg ~make
+    ~gen ~nemesis () =
   let cfg =
     {
       cfg with
@@ -50,6 +57,12 @@ let run ?(seed = 1) ?(clients = 8) ?(duration = 4.0) ?(nemesis_at = 1.0)
   let cl = Cluster.create ~seed ?tracer ~history cfg in
   let proto = make cl in
   let engine = cl.Cluster.engine in
+  (* Membership actions (join/decommission) are not fault-plan specs:
+     they are planner decisions, scheduled here as absolute-time calls
+     against the cluster. *)
+  List.iter
+    (fun (time, act) -> Engine.at engine ~time (fun () -> act cl))
+    actions;
   let horizon = Engine.seconds duration in
   let submitted = ref 0 in
   let completed = ref 0 in
@@ -85,10 +98,23 @@ let run ?(seed = 1) ?(clients = 8) ?(duration = 4.0) ?(nemesis_at = 1.0)
   let metrics = cl.Cluster.metrics in
   let check = Checker.check (History.events history) in
   let divergence = Divergence.audit ~history cl in
+  (* A healthy drain ends within the last scheduled disturbance plus a
+     generous slack; anything later means some loop kept the queue
+     alive long after the cluster should have settled. *)
+  let quiesce_bound =
+    Stdlib.max horizon (Liveness.plan_horizon cfg.Config.fault_plan)
+    +. quiesce_slack
+  in
+  let liveness =
+    Liveness.audit ~quiesce_bound ~cluster:cl ~submitted:!submitted
+      ~completed:!completed ()
+  in
+  observe cl;
   {
     history;
     check;
     divergence;
+    liveness;
     submitted = !submitted;
     completed = !completed;
     commits = Metrics.commits metrics;
@@ -97,5 +123,7 @@ let run ?(seed = 1) ?(clients = 8) ?(duration = 4.0) ?(nemesis_at = 1.0)
     resyncs = cl.Cluster.resync_count;
     stale_rejections = Metrics.stale_ack_rejections metrics;
     replica_purges = Metrics.replica_purges metrics;
+    exhausted = Engine.last_run_exhausted engine;
+    pending_events = Engine.pending engine;
     final_time = Engine.now engine;
   }

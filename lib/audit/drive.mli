@@ -1,17 +1,19 @@
 (** Audit harness: workload × protocol × nemesis → recorded history →
-    checker + divergence audit.
+    checker + divergence audit + liveness audit.
 
     Differs from the throughput harness ({!Lion_harness.Runner}) in one
     essential way: clients and the protocol tick stop issuing work at
     the horizon, so after [drain] the event queue {e empties} —
     in-flight retries resolve, elections finish, log ships and
     anti-entropy repairs land. The checker and the replica-divergence
-    audit run at that true quiescence. *)
+    audit run at that true quiescence; the liveness audit
+    ({!Liveness.audit}) checks the run actually reached it. *)
 
 type outcome = {
   history : Lion_store.History.t;
   check : Checker.report;
   divergence : Divergence.report;
+  liveness : Liveness.report;
   submitted : int;
   completed : int;
   commits : int;
@@ -27,11 +29,21 @@ type outcome = {
   replica_purges : int;
       (** stale secondaries purged at node recovery
           ([Metrics.replica_purges]) *)
+  exhausted : bool;
+      (** the drain stopped on [max_events] instead of emptying the
+          queue — also reported as a liveness finding, never a silent
+          truncation *)
+  pending_events : int;  (** events still queued when the run stopped *)
   final_time : float;  (** simulated time when the queue drained (µs) *)
 }
 
 val passed : outcome -> bool
-(** Serializable history and no replica divergence. *)
+(** Serializable history and no replica divergence — the {e safety}
+    verdict. A wedged run can pass this on a short, clean history. *)
+
+val healthy : outcome -> bool
+(** [passed] and the liveness audit is clean: the run not only did
+    nothing wrong, it finished everything it admitted. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit
 
@@ -42,6 +54,9 @@ val run :
   ?nemesis_at:float ->
   ?tracer:Lion_trace.Trace.t ->
   ?max_events:int ->
+  ?actions:(float * (Lion_store.Cluster.t -> unit)) list ->
+  ?quiesce_slack:float ->
+  ?observe:(Lion_store.Cluster.t -> unit) ->
   cfg:Lion_store.Config.t ->
   make:(Lion_store.Cluster.t -> Lion_protocols.Proto.t) ->
   gen:(time:float -> Lion_workload.Txn.t) ->
@@ -52,5 +67,12 @@ val run :
     simulated seconds (default 4), with the nemesis' fault plan
     anchored [nemesis_at] seconds in (default 1), then drain to
     quiescence (bounded by [max_events]) and audit. The nemesis plan
-    is appended to any plan already in [cfg]. Deterministic in
-    ([seed], [cfg], nemesis). *)
+    is appended to any plan already in [cfg]. [actions] schedules
+    membership operations (join/decommission) at absolute simulated
+    times — they are planner decisions, not fault-plan specs. The
+    liveness audit's [Slow_quiesce] bound is the later of the horizon
+    and the plan's last window, plus [quiesce_slack] (default 10
+    simulated seconds). [observe] runs on the cluster after all audits,
+    before it is dropped — the fuzzer's hook for snapshotting metrics
+    and beacons into its coverage signal. Deterministic in ([seed],
+    [cfg], nemesis, [actions]). *)

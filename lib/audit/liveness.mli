@@ -1,0 +1,61 @@
+(** Liveness audit: did the run actually finish, or merely stop?
+
+    The safety checker and the divergence audit only inspect what the
+    history contains — a cluster wedged in a retry storm, a breaker
+    pinned open by an unhealed partition, or a leader transfer whose
+    completion timer was lost all produce {e short, clean} histories
+    and pass [Drive.passed]. This audit closes that gap: it runs at
+    quiescence (after [Engine.run_all]) and checks that every admitted
+    transaction resolved, the event queue truly drained, no breaker is
+    still open toward a live node, no remaster is still in flight, no
+    partition is parked without a primary, and the drain landed within
+    a bounded wall of simulated time. See docs/FUZZING.md. *)
+
+type finding =
+  | Stuck_txns of { submitted : int; completed : int }
+      (** admitted transactions whose [on_done] never fired *)
+  | Event_budget_exhausted of { pending : int }
+      (** [Engine.run_all] stopped on its [max_events] budget with
+          [pending] events still queued — a runaway loop, not
+          quiescence; every other number from the run is suspect *)
+  | Breaker_pinned of { node : int }
+      (** the circuit breaker toward a node that is alive and a member
+          reads [Open] at quiescence *)
+  | Remaster_wedged of { inflight : int }
+      (** leader transfers still in flight after the full drain *)
+  | Partition_parked of { part : int }
+      (** a partition still has no live primary at quiescence even
+          though the drain ran every scheduled recovery *)
+  | Slow_quiesce of { finished : float; bound : float }
+      (** the queue drained, but only at [finished] µs — past [bound],
+          the last scheduled fault window plus a generous slack *)
+
+type report = { findings : finding list }
+
+val clean : report -> bool
+
+val finding_name : finding -> string
+(** Stable class name ("stuck-txns", "breaker-pinned", …) — the
+    fuzzer's coverage signal and corpus files key on these. *)
+
+val pp_finding : Format.formatter -> finding -> unit
+val pp_report : Format.formatter -> report -> unit
+
+val plan_horizon : Lion_sim.Fault.plan -> float
+(** Absolute time (µs) when the plan's last window closes: the latest
+    [until] / [recover_at] / crash time across all specs; 0 for an
+    empty plan. A crash with no recovery contributes its crash time. *)
+
+val audit :
+  ?quiesce_bound:float ->
+  cluster:Lion_store.Cluster.t ->
+  submitted:int ->
+  completed:int ->
+  unit ->
+  report
+(** Audit the cluster at quiescence. Reads only existing state — the
+    engine's exhaustion flag, the cluster's in-flight and parked
+    introspection, per-node breaker states — scheduling nothing and
+    drawing no randomness, so running it never perturbs a replay.
+    [quiesce_bound] (µs, absolute) enables the [Slow_quiesce] check;
+    omitted, that check is skipped. *)

@@ -39,11 +39,21 @@ type t = {
   mutable sheds : int;
   mutable breaker_rejects : int;
   mutable breaker_opens : int;
+  mutable breaker_half_opens : int;
   mutable budget_denials : int;
   mutable deadline_giveups : int;
   mutable deadline_misses : int;
   mutable stale_acks : int;
   mutable replica_purges : int;
+  mutable remaster_begins : int;
+  mutable remasters_inflight : int;
+  (* Code-path beacons: named control-flow waypoints (elections,
+     purges, cancelled remasters, anti-entropy rounds …) recorded as
+     bare counters. Pure bookkeeping — no engine events, no RNG — so
+     lighting one up never perturbs a run; the fault-schedule fuzzer
+     uses the set of lit beacons as its coverage signal
+     (docs/FUZZING.md). *)
+  beacons : (string, int) Hashtbl.t;
   avail_series : Timeseries.t;
 }
 
@@ -65,11 +75,15 @@ let create ?(seed = 42) engine =
     sheds = 0;
     breaker_rejects = 0;
     breaker_opens = 0;
+    breaker_half_opens = 0;
     budget_denials = 0;
     deadline_giveups = 0;
     deadline_misses = 0;
     stale_acks = 0;
     replica_purges = 0;
+    remaster_begins = 0;
+    remasters_inflight = 0;
+    beacons = Hashtbl.create 32;
     avail_series = Timeseries.create ~interval:(Engine.seconds 1.0);
   }
 
@@ -99,22 +113,47 @@ let record_drop t = t.drops <- t.drops + 1
 let record_shed t = t.sheds <- t.sheds + 1
 let record_breaker_reject t = t.breaker_rejects <- t.breaker_rejects + 1
 let record_breaker_open t = t.breaker_opens <- t.breaker_opens + 1
+
+let record_breaker_half_open t =
+  t.breaker_half_opens <- t.breaker_half_opens + 1
+
 let record_budget_denial t = t.budget_denials <- t.budget_denials + 1
 let record_deadline_giveup t = t.deadline_giveups <- t.deadline_giveups + 1
 let record_deadline_miss t = t.deadline_misses <- t.deadline_misses + 1
 let record_stale_ack t = t.stale_acks <- t.stale_acks + 1
 let record_replica_purge t = t.replica_purges <- t.replica_purges + 1
+
+(* The in-flight remaster gauge pairs a begin with exactly one end on
+   every exit path (completion, stale refusal, cancellation); at
+   quiescence it must read 0, which the liveness auditor asserts. *)
+let record_remaster_begin t =
+  t.remaster_begins <- t.remaster_begins + 1;
+  t.remasters_inflight <- t.remasters_inflight + 1
+
+let record_remaster_end t = t.remasters_inflight <- t.remasters_inflight - 1
+
+let beacon t name =
+  match Hashtbl.find_opt t.beacons name with
+  | Some n -> Hashtbl.replace t.beacons name (n + 1)
+  | None -> Hashtbl.replace t.beacons name 1
+
+let beacons t =
+  Hashtbl.fold (fun name n acc -> (name, n) :: acc) t.beacons []
+  |> List.sort compare
 let timeouts t = t.timeouts
 let retries t = t.retries
 let drops t = t.drops
 let sheds t = t.sheds
 let breaker_rejects t = t.breaker_rejects
 let breaker_opens t = t.breaker_opens
+let breaker_half_opens t = t.breaker_half_opens
 let budget_denials t = t.budget_denials
 let deadline_giveups t = t.deadline_giveups
 let deadline_misses t = t.deadline_misses
 let stale_ack_rejections t = t.stale_acks
 let replica_purges t = t.replica_purges
+let remaster_begins t = t.remaster_begins
+let remasters_inflight t = t.remasters_inflight
 
 (* Past-dated schedules the engine clamped to [now]: each one is a
    scheduling bug somewhere upstream (a negative delay, an absolute
@@ -164,10 +203,15 @@ let reset_window t =
   t.sheds <- 0;
   t.breaker_rejects <- 0;
   t.breaker_opens <- 0;
+  t.breaker_half_opens <- 0;
   t.budget_denials <- 0;
   t.deadline_giveups <- 0;
   t.deadline_misses <- 0;
   t.stale_acks <- 0;
   t.replica_purges <- 0;
+  t.remaster_begins <- 0;
+  (* The in-flight gauge is live state, not a window counter: a
+     remaster spanning the window boundary still ends exactly once. *)
+  Hashtbl.reset t.beacons;
   Array.fill t.phase_time 0 6 0.0;
   Stats.Reservoir.reset t.latency

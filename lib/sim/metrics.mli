@@ -58,6 +58,11 @@ val record_breaker_reject : t -> unit
 val record_breaker_open : t -> unit
 (** A circuit breaker tripped open. *)
 
+val record_breaker_half_open : t -> unit
+(** An open breaker's cooldown elapsed and it moved to [Half_open],
+    admitting one probe. A breaker pinned open by a persistent fault
+    shows opens and half-opens climbing in lockstep. *)
+
 val record_budget_denial : t -> unit
 (** A retransmission was abandoned because the retry budget was dry. *)
 
@@ -78,6 +83,28 @@ val record_replica_purge : t -> unit
 (** A rejoining node held a secondary whose partition was remastered
     away while it was down; the stale copy was purged at recovery. *)
 
+val record_remaster_begin : t -> unit
+(** A leader transfer was admitted (cooldown passed, no transfer in
+    flight for the partition). Increments both the lifetime begin
+    counter and the in-flight gauge. *)
+
+val record_remaster_end : t -> unit
+(** The matching end for a [record_remaster_begin] — completion, stale
+    refusal or cancellation. Every begin must be paired with exactly
+    one end; at quiescence the gauge must read 0, which the liveness
+    auditor asserts (docs/FUZZING.md). *)
+
+val beacon : t -> string -> unit
+(** Light a named code-path beacon — a control-flow waypoint such as an
+    election, a phantom purge or a cancelled remaster. Beacons are pure
+    bookkeeping (no engine events, no RNG), so recording one never
+    perturbs a run; the fault-schedule fuzzer uses the set of lit
+    beacons as its coverage signal. *)
+
+val beacons : t -> (string * int) list
+(** All beacons lit since [create] (or the last [reset_window]),
+    sorted by name for deterministic output. *)
+
 val timeouts : t -> int
 val retries : t -> int
 val drops : t -> int
@@ -87,8 +114,16 @@ val breaker_opens : t -> int
 val budget_denials : t -> int
 val deadline_giveups : t -> int
 val deadline_misses : t -> int
+val breaker_half_opens : t -> int
 val stale_ack_rejections : t -> int
 val replica_purges : t -> int
+val remaster_begins : t -> int
+
+val remasters_inflight : t -> int
+(** Leader transfers currently in flight (begins minus ends). Unlike
+    the counters this is live state, not a window total: it survives
+    [reset_window] so a transfer spanning the boundary still reads
+    correctly. *)
 
 val schedule_clamps : t -> int
 (** Past-dated schedules the engine clamped to [now] since [create] —

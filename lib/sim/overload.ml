@@ -61,6 +61,7 @@ module Breaker = struct
     mutable opened_at : float;
     mutable probe_inflight : bool;
     mutable opens : int;
+    mutable half_opens : int;
     mutable rejects : int;
   }
 
@@ -74,6 +75,7 @@ module Breaker = struct
       opened_at = neg_infinity;
       probe_inflight = false;
       opens = 0;
+      half_opens = 0;
       rejects = 0;
     }
 
@@ -82,6 +84,7 @@ module Breaker = struct
   let tick t ~now =
     if t.st = Open && now -. t.opened_at >= t.cooldown then (
       t.st <- Half_open;
+      t.half_opens <- t.half_opens + 1;
       t.probe_inflight <- false)
 
   let state t ~now =
@@ -124,5 +127,6 @@ module Breaker = struct
         if t.failures >= t.threshold then trip t ~now
 
   let opens t = t.opens
+  let half_opens t = t.half_opens
   let rejects t = t.rejects
 end

@@ -61,6 +61,12 @@ module Breaker : sig
   val opens : t -> int
   (** Times the breaker tripped open. *)
 
+  val half_opens : t -> int
+  (** Times an open breaker's cooldown elapsed and it moved to
+      [Half_open] (admitting one probe). A breaker pinned open by a
+      persistent fault shows a matching opens/half-opens climb: every
+      probe fails and re-opens it. *)
+
   val rejects : t -> int
   (** Requests refused while open (incl. surplus half-open callers). *)
 end

@@ -123,11 +123,21 @@ let budget_allows t =
 let breaker_for t dst =
   if Array.length t.breakers = 0 then None else Some t.breakers.(dst)
 
+(* Any breaker call may promote Open -> Half_open inside its clock
+   tick; the delta on the breaker's own counter is the only way to
+   observe that from outside, so every wrapper funnels through here. *)
+let note_half_opens t b before =
+  if Overload.Breaker.half_opens b > before then
+    Metrics.record_breaker_half_open t.metrics
+
 let breaker_allows t dst =
   match breaker_for t dst with
   | None -> true
   | Some b ->
-      Overload.Breaker.allow b ~now:(now t)
+      let ho = Overload.Breaker.half_opens b in
+      let ok = Overload.Breaker.allow b ~now:(now t) in
+      note_half_opens t b ho;
+      ok
       ||
       (Metrics.record_breaker_reject t.metrics;
        false)
@@ -142,13 +152,19 @@ let breaker_failure t dst =
   | None -> ()
   | Some b ->
       let opens = Overload.Breaker.opens b in
+      let ho = Overload.Breaker.half_opens b in
       Overload.Breaker.record_failure b ~now:(now t);
+      note_half_opens t b ho;
       if Overload.Breaker.opens b > opens then Metrics.record_breaker_open t.metrics
 
 let breaker_state t dst =
   match breaker_for t dst with
   | None -> Overload.Breaker.Closed
-  | Some b -> Overload.Breaker.state b ~now:(now t)
+  | Some b ->
+      let ho = Overload.Breaker.half_opens b in
+      let st = Overload.Breaker.state b ~now:(now t) in
+      note_half_opens t b ho;
+      st
 
 let worker_saturated t ~node =
   Server.busy t.workers.(node) >= Server.capacity t.workers.(node)
@@ -167,6 +183,7 @@ let try_begin_remaster t ~part ~node =
   then false
   else (
     t.remaster_inflight.(part) <- true;
+    Metrics.record_remaster_begin t.metrics;
     (* Burn the cooldown optimistically so concurrent attempts see it,
        but remember the previous stamp: a transfer that fails (target
        died mid-flight, or the lag ship was lost to a partition) must
@@ -212,10 +229,12 @@ let try_begin_remaster t ~part ~node =
                   incarnation: refuse the handover rather than promote
                   a primary missing its log suffix. *)
                Metrics.record_stale_ack t.metrics;
+               Metrics.beacon t.metrics "remaster-stale-refuse";
                if t.part_last_remaster.(part) = started then
                  t.part_last_remaster.(part) <- prev
              end
              else begin
+               Metrics.beacon t.metrics "remaster-complete";
                Placement.remaster t.placement ~part ~node;
                t.primary_term.(part) <- t.primary_term.(part) + 1;
                (* The handover ships the lag, not the partition: an
@@ -230,8 +249,12 @@ let try_begin_remaster t ~part ~node =
                if t.part_available.(part) = infinity then
                  t.part_available.(part) <- now t
              end
-           else if t.part_last_remaster.(part) = started then
-             t.part_last_remaster.(part) <- prev);
+           else begin
+             Metrics.beacon t.metrics "remaster-abandon";
+             if t.part_last_remaster.(part) = started then
+               t.part_last_remaster.(part) <- prev
+           end);
+          Metrics.record_remaster_end t.metrics;
           t.remaster_inflight.(part) <- false;
           t.remaster_target.(part) <- -1
         end);
@@ -450,6 +473,7 @@ and start_move t ~part ~dst ~after =
            the node cannot resurrect it as a live replica on recovery
            (and so the partition is not over-replicated when it does). *)
         (if t.part_available.(part) = infinity then begin
+           Metrics.beacon t.metrics "parked-promote";
            let old = Placement.primary t.placement part in
            Placement.remaster t.placement ~part ~node:dst;
            t.primary_term.(part) <- t.primary_term.(part) + 1;
@@ -592,6 +616,7 @@ let join_node t node =
   if node < 0 || node >= Placement.nodes t.placement || t.member.(node) then false
   else begin
     Log.info (fun m -> m "node %d joined at t=%.0fus" node (now t));
+    Metrics.beacon t.metrics "node-join";
     Option.iter (fun tr -> Trace.instant ~node ~ts:(now t) tr "join") t.tracer;
     t.member.(node) <- true;
     t.draining.(node) <- false;
@@ -622,6 +647,7 @@ let decommission_node t node =
   then false
   else begin
     Log.info (fun m -> m "node %d draining at t=%.0fus" node (now t));
+    Metrics.beacon t.metrics "node-decommission";
     Option.iter (fun tr -> Trace.instant ~node ~ts:(now t) tr "decommission") t.tracer;
     t.draining.(node) <- true;
     t.membership_version <- t.membership_version + 1;
@@ -633,6 +659,7 @@ let decommission_node t node =
 let fail_node t node =
   if t.node_alive.(node) then (
     Log.warn (fun m -> m "node %d failed at t=%.0fus" node (now t));
+    Metrics.beacon t.metrics "node-crash";
     Option.iter (fun tr -> Trace.instant ~node ~ts:(now t) tr "crash") t.tracer;
     t.node_alive.(node) <- false;
     Fault.mark_down t.fault node;
@@ -650,6 +677,8 @@ let fail_node t node =
        path. *)
     for part = 0 to parts - 1 do
       if t.remaster_inflight.(part) && t.remaster_target.(part) = node then begin
+        Metrics.beacon t.metrics "remaster-cancel";
+        Metrics.record_remaster_end t.metrics;
         t.remaster_inflight.(part) <- false;
         if t.part_last_remaster.(part) = t.remaster_started_at.(part) then
           t.part_last_remaster.(part) <- t.remaster_prev.(part);
@@ -680,7 +709,9 @@ let fail_node t node =
                (List.exists
                   (fun n -> t.node_alive.(n))
                   (Placement.secondaries t.placement part))
-        then t.part_available.(part) <- infinity)
+        then (
+          Metrics.beacon t.metrics "partition-parked";
+          t.part_available.(part) <- infinity))
     done;
     for part = 0 to parts - 1 do
       if Placement.has_primary t.placement ~part ~node then (
@@ -690,35 +721,46 @@ let fail_node t node =
         | [] ->
             (* No surviving replica: unavailable until the node
                recovers with its (stale but only) copy. *)
+            Metrics.beacon t.metrics "partition-parked";
             t.part_available.(part) <- infinity
         | _ :: _ ->
             block_partition t part (now t +. t.cfg.Config.election_delay);
             Engine.schedule t.engine ~delay:t.cfg.Config.election_delay (fun () ->
-                (match
-                   List.filter
-                     (fun n -> t.node_alive.(n))
-                     (Placement.secondaries t.placement part)
-                 with
-                | winner :: _ when Placement.primary t.placement part = node ->
-                    Placement.remaster t.placement ~part ~node:winner;
-                    (* Election includes catching the winner up from the
-                       surviving quorum's logs. *)
-                    Replication.set_applied t.replication ~part ~node:winner
-                      ~upto:(Replication.appends t.replication ~part);
-                    Option.iter
-                      (fun tr -> Trace.instant ~node:winner ~ts:(now t) tr "election")
-                      t.tracer
-                | _ -> ());
+                let promoted =
+                  match
+                    List.filter
+                      (fun n -> t.node_alive.(n))
+                      (Placement.secondaries t.placement part)
+                  with
+                  | winner :: _ when Placement.primary t.placement part = node ->
+                      Metrics.beacon t.metrics "election-promote";
+                      Placement.remaster t.placement ~part ~node:winner;
+                      (* Election includes catching the winner up from the
+                         surviving quorum's logs. *)
+                      Replication.set_applied t.replication ~part ~node:winner
+                        ~upto:(Replication.appends t.replication ~part);
+                      Option.iter
+                        (fun tr -> Trace.instant ~node:winner ~ts:(now t) tr "election")
+                        t.tracer;
+                      true
+                  | _ -> false
+                in
                 (* Whether the election above promoted a winner or a
                    planner moved mastership on its own before the timer
                    fired (batch-mode claims apply [Placement.remaster]
                    directly), the dead primary has been demoted to a
                    secondary: purge that phantom copy so it cannot
-                   rejoin as a stale replica on recovery. *)
+                   rejoin as a stale replica on recovery.
+                   [reintroduce_phantom_secondary] re-plants the bug
+                   this purge fixed: only the election's own promotion
+                   cleans up after itself, so a planner remaster racing
+                   the timer leaves the phantom in place. *)
                 if
-                  (not t.node_alive.(node))
+                  (promoted || not t.cfg.Config.reintroduce_phantom_secondary)
+                  && (not t.node_alive.(node))
                   && Placement.has_secondary t.placement ~part ~node
                 then (
+                  Metrics.beacon t.metrics "phantom-purge";
                   Placement.remove_secondary t.placement ~part ~node;
                   Replication.forget_applied t.replication ~part ~node)))
     done;
@@ -729,6 +771,7 @@ let fail_node t node =
 let recover_node t node =
   if t.member.(node) && not t.node_alive.(node) then (
     Log.info (fun m -> m "node %d recovered at t=%.0fus" node (now t));
+    Metrics.beacon t.metrics "node-recover";
     Option.iter (fun tr -> Trace.instant ~node ~ts:(now t) tr "recover") t.tracer;
     (* The rejoining node is a new incarnation of the slot: bump its
        epoch first, so every stream opened before the crash is
@@ -745,13 +788,15 @@ let recover_node t node =
        the node was down, demoting its dead primary in place. The copy
        is stale — it missed every append since the crash — and must not
        rejoin as a live replica. *)
-    for part = 0 to parts - 1 do
-      if Placement.has_secondary t.placement ~part ~node then begin
-        Placement.remove_secondary t.placement ~part ~node;
-        Replication.forget_applied t.replication ~part ~node;
-        Metrics.record_replica_purge t.metrics
-      end
-    done;
+    if not t.cfg.Config.reintroduce_phantom_secondary then
+      for part = 0 to parts - 1 do
+        if Placement.has_secondary t.placement ~part ~node then begin
+          Metrics.beacon t.metrics "rejoin-purge";
+          Placement.remove_secondary t.placement ~part ~node;
+          Replication.forget_applied t.replication ~part ~node;
+          Metrics.record_replica_purge t.metrics
+        end
+      done;
     (* The log-shipping peer for resynchronisation: any live node can
        serve the tail of the durable log (group-commit makes every
        commit reach the log before acknowledgement). *)
@@ -761,6 +806,7 @@ let recover_node t node =
     for part = 0 to parts - 1 do
       if Placement.has_primary t.placement ~part ~node && t.part_available.(part) = infinity
       then begin
+        Metrics.beacon t.metrics "orphan-resync";
         (* The orphaned primary rejoins with a stale copy: resync the
            unacknowledged log suffix through the replication model —
            the same lagging-log rule [try_begin_remaster] applies —
@@ -884,11 +930,19 @@ let release_worker t ~node lease = Server.release t.workers.(node) lease
    partition, dead link) leaves the replica's applied watermark behind
    the authoritative log. The loop re-ships the missing suffix from a
    live replica until the target catches up, loses the replica, or
-   dies; each round backs off by two RPC timeouts, bounded by [tries]
-   so a permanently unreachable replica cannot keep the event queue
-   alive forever. It is only ever started after a ship actually failed,
-   so healthy runs schedule nothing and stay bit-for-bit identical. *)
-let rec resync_replica t ~part ~node ~tries =
+   dies; each failed round backs off exponentially from two RPC
+   timeouts up to [resync_backoff_cap], bounded by [tries] so a
+   permanently unreachable replica cannot keep the event queue alive
+   forever. The cap matters: at a fixed two-timeout interval the whole
+   budget burns in under a second, so any partition outliving it left
+   the replica permanently behind — a real divergence the fault-schedule
+   fuzzer found. With the capped doubling the same budget spans ~30
+   simulated seconds, past any plan's heal time. It is only ever
+   started after a ship actually failed, so healthy runs schedule
+   nothing and stay bit-for-bit identical. *)
+let resync_backoff_cap = 500_000.0
+
+let rec resync_replica t ~part ~node ~tries ~backoff =
   let stop () = Hashtbl.remove t.resync_inflight (part, node) in
   let goal = Replication.appends t.replication ~part in
   if
@@ -899,8 +953,9 @@ let rec resync_replica t ~part ~node ~tries =
   then stop ()
   else
     let retry () =
-      Engine.schedule t.engine ~delay:(2.0 *. t.cfg.Config.rpc_timeout) (fun () ->
-          resync_replica t ~part ~node ~tries:(tries - 1))
+      Engine.schedule t.engine ~delay:backoff (fun () ->
+          resync_replica t ~part ~node ~tries:(tries - 1)
+            ~backoff:(Float.min (2.0 *. backoff) resync_backoff_cap))
     in
     let live_source =
       List.find_opt
@@ -920,7 +975,8 @@ let rec resync_replica t ~part ~node ~tries =
                  shipped range was computed against its previous
                  incarnation. Reject and restart with a fresh session. *)
               Metrics.record_stale_ack t.metrics;
-              resync_replica t ~part ~node ~tries:(tries - 1)
+              Metrics.beacon t.metrics "resync-stale";
+              resync_replica t ~part ~node ~tries:(tries - 1) ~backoff
             end
             else begin
               (* The suffix extends state from [cur]: incremental, so
@@ -928,17 +984,21 @@ let rec resync_replica t ~part ~node ~tries =
                  exists — and not at all on an untagged stale ship. *)
               Replication.ack_stream t.replication ~part ~node ~upto:goal ~stale
                 ~reject:false;
+              Metrics.beacon t.metrics "resync-apply";
               t.resync_count <- t.resync_count + 1;
               (* More records may have landed while the suffix was in
-                 flight: chase the tail before declaring victory. *)
+                 flight: chase the tail before declaring victory. A
+                 successful round resets the backoff: the link works. *)
               resync_replica t ~part ~node ~tries
+                ~backoff:(2.0 *. t.cfg.Config.rpc_timeout)
             end)
 
 let start_resync t ~part ~node =
   if not (Hashtbl.mem t.resync_inflight (part, node)) then (
     Hashtbl.add t.resync_inflight (part, node) ();
     Engine.schedule t.engine ~delay:(2.0 *. t.cfg.Config.rpc_timeout) (fun () ->
-        resync_replica t ~part ~node ~tries:64))
+        resync_replica t ~part ~node ~tries:64
+          ~backoff:(2.0 *. t.cfg.Config.rpc_timeout)))
 
 let replicate_commit t ?ctx parts =
   List.iter
@@ -1038,6 +1098,21 @@ let note_replica_synced t ~part ~node =
 
 let note_replica_dropped t ~part ~node =
   Replication.forget_applied t.replication ~part ~node
+
+(* Ground-truth liveness introspection (docs/FUZZING.md): after a run
+   drains to quiescence, every leader transfer must have resolved and
+   every partition must have a live primary again. The liveness auditor
+   reads these directly rather than trusting the metrics gauge. *)
+let remasters_inflight t =
+  Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 t.remaster_inflight
+
+let parked_partitions t =
+  let parts = Placement.partitions t.placement in
+  let rec go p acc =
+    if p < 0 then acc
+    else go (p - 1) (if t.part_available.(p) = infinity then p :: acc else acc)
+  in
+  go (parts - 1) []
 
 let create ?(seed = 1) ?tracer ?history cfg =
   let engine = Engine.create () in

@@ -257,6 +257,17 @@ val breaker_state : t -> int -> Lion_sim.Overload.Breaker.state
 (** Current breaker state for RPCs to a node ([Closed] when breakers
     are disabled). *)
 
+val remasters_inflight : t -> int
+(** Leader transfers currently in flight. At quiescence this must read
+    0 — a non-zero value after a full drain means a transfer's
+    completion timer was lost, which the liveness auditor reports as
+    [Remaster_wedged] (docs/FUZZING.md). *)
+
+val parked_partitions : t -> int list
+(** Partitions currently parked as unavailable (no live primary and no
+    surviving copy to promote), ascending. Non-empty after a full drain
+    with every node recovered is a liveness finding. *)
+
 val total_sheds : t -> int
 (** Lifetime sum of requests shed by every worker and messenger queue
     in the cluster (never reset). *)

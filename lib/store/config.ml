@@ -36,6 +36,7 @@ type t = {
   standby_nodes : int;
   rebalance_rate : float;
   session_tagging : bool;
+  reintroduce_phantom_secondary : bool;
 }
 
 let default =
@@ -77,6 +78,7 @@ let default =
     standby_nodes = 0;
     rebalance_rate = 0.0;
     session_tagging = false;
+    reintroduce_phantom_secondary = false;
   }
 
 (* The graceful-degradation preset (docs/OVERLOAD.md): bounded queues

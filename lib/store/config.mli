@@ -101,6 +101,15 @@ type t = {
           [Metrics.stale_ack_rejections]). false (default) reproduces
           the classic stale-replication-ack hazard — see
           docs/MEMBERSHIP.md for the openraft/Ra comparison *)
+  reintroduce_phantom_secondary : bool;
+      (** compat flag re-planting the phantom-secondary bug the
+          divergence auditor originally caught: when true, a dead
+          primary demoted in place by a planner remaster (racing the
+          election timer) is {e not} purged — neither by the election
+          callback nor at rejoin — so the recovered node serves a
+          frozen copy. Exists purely as a known-bug target for the
+          fault-schedule fuzzer (docs/FUZZING.md); false (default)
+          keeps both purge sites active *)
 }
 
 val default : t
