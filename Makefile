@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench perf perf-smoke chaos audit fuzz elastic overload trace examples clean
+.PHONY: all build test bench perf perf-smoke chaos audit fuzz elastic overload trace geo examples clean
 
 all: build
 
@@ -39,6 +39,7 @@ audit:
 	dune exec bin/audit_run.exe -- --proto lion --nemesis all --seconds 2
 	dune exec bin/audit_run.exe -- --proto lion --nemesis overload --overload \
 		--seconds 2
+	dune exec bin/audit_run.exe -- --proto epoch --nemesis all --seconds 2
 	dune exec bin/audit_run.exe -- --assert-rejoin-safe
 
 # Coverage-guided fault-schedule fuzzing (see docs/FUZZING.md): a
@@ -73,6 +74,12 @@ trace:
 		--out traces/lion.json
 	dune exec bin/trace_txn.exe -- --proto 2pc --cross 0.5 --skew 0.8 \
 		--out traces/2pc.json
+
+# Geo-replication experiments (see docs/GEO.md): cross-region ratio
+# sweeps at 2 and 3 regions for lion/star/2pc/epoch — asserting the
+# Lion-vs-EpochOCC crossover — plus goodput under a WAN partition.
+geo:
+	dune exec bin/geo_sweep.exe -- --assert-crossover
 
 examples:
 	dune exec examples/quickstart.exe

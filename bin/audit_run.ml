@@ -31,6 +31,7 @@ let protocols :
     ("hermes", fun cl -> Lion_protocols.Hermes.create cl);
     ("aria", fun cl -> Lion_protocols.Aria.create cl);
     ("lotus", fun cl -> Lion_protocols.Lotus.create cl);
+    ("epoch", fun cl -> Lion_protocols.Epoch.create cl);
     ( "lion-batch",
       fun cl ->
         Lion_core.Batch_mode.create ~name:"Lion"

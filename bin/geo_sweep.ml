@@ -1,0 +1,49 @@
+(* CLI: the geo-replication experiment suite (docs/GEO.md).
+
+   Runs the cross-region-ratio sweep for {Lion, Star, 2PC, EpochOCC}
+   at 2 and 3 regions plus the goodput-under-WAN-partition run. Output
+   is deterministic for a fixed seed — the geo-smoke CI job diffs two
+   runs byte-for-byte.
+
+   Flags:
+     --smoke              quarter-scale durations (CI)
+     --seed N             workload/cluster seed (default 7)
+     --assert-crossover   exit 1 unless Lion wins at 0% cross-region
+                          and EpochOCC wins at 100% (2-region sweep) *)
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let flag f = List.mem f args in
+  let rec opt k = function
+    | a :: v :: _ when a = k -> Some v
+    | _ :: rest -> opt k rest
+    | [] -> None
+  in
+  let known = [ "--smoke"; "--seed"; "--assert-crossover" ] in
+  let rec check = function
+    | a :: rest when List.mem a known ->
+        check (if a = "--seed" then match rest with _ :: r -> r | [] -> [] else rest)
+    | a :: _ ->
+        Printf.eprintf "geo_sweep: unknown argument %s\nusage: geo_sweep %s\n" a
+          (String.concat " " (List.map (fun f -> "[" ^ f ^ "]") known));
+        exit 2
+    | [] -> ()
+  in
+  check args;
+  let scale = if flag "--smoke" then 0.25 else 1.0 in
+  let seed =
+    match opt "--seed" args with
+    | Some s -> ( try int_of_string s with _ -> Printf.eprintf "geo_sweep: bad --seed %s\n" s; exit 2)
+    | None -> 7
+  in
+  let rows2 = Lion_harness.Geo.sweep ~seed ~scale ~regions:2 () in
+  Lion_harness.Geo.print_sweep ~regions:2 rows2;
+  let rows3 = Lion_harness.Geo.sweep ~seed ~scale ~regions:3 () in
+  Lion_harness.Geo.print_sweep ~regions:3 rows3;
+  Lion_harness.Geo.print_partition ~scale
+    (Lion_harness.Geo.wan_partition ~seed ~scale ());
+  if flag "--assert-crossover" then
+    if Lion_harness.Geo.crossover_ok rows2 then
+      print_endline "crossover: OK (Lion wins at 0%, EpochOCC wins at 100%)"
+    else (
+      prerr_endline "crossover: FAILED (expected Lion ahead at 0% and EpochOCC ahead at 100%)";
+      exit 1)

@@ -41,7 +41,9 @@ let () =
         Printf.printf ">>> %s — %s\n%!" name desc;
         f scale
     | None ->
+        (* Exit 2 = usage error, like the other CLIs; scripts can tell a
+           typo'd id from an experiment that itself failed. *)
         Printf.eprintf "unknown experiment %s; available: %s\n" name
           (String.concat ", "
              (List.map (fun (id, _, _) -> id) Lion_harness.Experiments.registry));
-        exit 1
+        exit 2

@@ -1,8 +1,9 @@
 module Placement = Lion_store.Placement
 
-type t = { w_r : float; w_m : float; freq : int -> float }
+type wan = { region_of : int -> int; factor : float }
+type t = { w_r : float; w_m : float; freq : int -> float; wan : wan option }
 
-let make ?(w_r = 1.0) ?(w_m = 10.0) ~freq () = { w_r; w_m; freq }
+let make ?(w_r = 1.0) ?(w_m = 10.0) ?wan ~freq () = { w_r; w_m; freq; wan }
 
 let cnt_r t placement ~part ~node =
   if Placement.has_primary placement ~part ~node then 0.0
@@ -14,13 +15,36 @@ let cnt_r t placement ~part ~node =
 let cnt_m _t placement ~part ~node =
   if Placement.has_replica placement ~part ~node then 0.0 else 1.0
 
+(* Cross-region multiplier for moving [part]'s mastership (or a copy)
+   to [node]: a leader transfer or migration whose source primary sits
+   in another region ships its bytes over the WAN, so both terms scale
+   by [factor]. [None] — every region-free run — takes the historical
+   expression untouched. *)
+let wan_scale t placement ~part ~node =
+  match t.wan with
+  | None -> 1.0
+  | Some w ->
+      if w.region_of (Placement.primary placement part) <> w.region_of node
+      then w.factor
+      else 1.0
+
 let clump_cost t placement ~parts ~node =
-  List.fold_left
-    (fun acc part ->
-      acc
-      +. (t.w_r *. cnt_r t placement ~part ~node)
-      +. (t.w_m *. cnt_m t placement ~part ~node))
-    0.0 parts
+  match t.wan with
+  | None ->
+      List.fold_left
+        (fun acc part ->
+          acc
+          +. (t.w_r *. cnt_r t placement ~part ~node)
+          +. (t.w_m *. cnt_m t placement ~part ~node))
+        0.0 parts
+  | Some _ ->
+      List.fold_left
+        (fun acc part ->
+          let s = wan_scale t placement ~part ~node in
+          acc
+          +. (s *. t.w_r *. cnt_r t placement ~part ~node)
+          +. (s *. t.w_m *. cnt_m t placement ~part ~node))
+        0.0 parts
 
 let find_dst_node ?eligible t placement ~parts =
   let nodes = Placement.nodes placement in
@@ -49,6 +73,7 @@ let txn_route_cost t placement ~parts ~node =
       if Placement.has_primary placement ~part ~node then acc
       else if Placement.has_secondary placement ~part ~node then (
         let f = t.freq part *. route_freq_scale in
-        acc +. (t.w_r *. (1.0 +. (log (f +. 1.0) /. log 2.0))))
+        let s = wan_scale t placement ~part ~node in
+        acc +. (s *. (t.w_r *. (1.0 +. (log (f +. 1.0) /. log 2.0)))))
       else acc +. t.w_m)
     0.0 parts

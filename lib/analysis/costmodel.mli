@@ -8,15 +8,29 @@
     replica on n at all (migration needed). A node already holding all
     primaries costs 0. *)
 
+type wan = {
+  region_of : int -> int;  (** node → region map ([Cluster.region_of]) *)
+  factor : float;
+      (** cross-region cost multiplier, typically the WAN/LAN latency
+          ratio clamped to a sane range *)
+}
+(** WAN awareness (docs/GEO.md): when present, moving a partition's
+    mastership or a copy to a node in a {e different} region than its
+    current primary scales both the remaster and the migration term by
+    [factor] — leader transfers over the WAN are a latency cliff, so
+    the planner keeps clumps region-local unless the co-access evidence
+    overwhelms the multiplier. *)
+
 type t = {
   w_r : float;  (** remastering unit cost *)
   w_m : float;  (** migration unit cost *)
   freq : int -> float;  (** normalised access frequency f(v, ·) *)
+  wan : wan option;  (** cross-region multiplier; [None] = region-free *)
 }
 
-val make : ?w_r:float -> ?w_m:float -> freq:(int -> float) -> unit -> t
+val make : ?w_r:float -> ?w_m:float -> ?wan:wan -> freq:(int -> float) -> unit -> t
 (** Defaults follow the remaster-vs-migration cost ratio of the
-    simulated substrate: [w_r] 1.0, [w_m] 10.0. *)
+    simulated substrate: [w_r] 1.0, [w_m] 10.0, no WAN term. *)
 
 val cnt_r : t -> Lion_store.Placement.t -> part:int -> node:int -> float
 val cnt_m : t -> Lion_store.Placement.t -> part:int -> node:int -> float

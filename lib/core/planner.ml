@@ -53,8 +53,28 @@ type t = {
 }
 
 let create ?(seed = 23) cfg cl =
+  (* WAN-aware costs (docs/GEO.md): only built under a region topology,
+     so region-free planning evaluates the exact historical float
+     expressions. The multiplier is the WAN/LAN latency ratio, clamped
+     — enough to keep clumps region-local without making cross-region
+     moves literally unthinkable. *)
+  let wan =
+    let c = cl.Cluster.cfg in
+    if c.Lion_store.Config.regions >= 2 then
+      Some
+        {
+          Costmodel.region_of = Cluster.region_of cl;
+          factor =
+            Float.min 64.0
+              (Float.max 1.0
+                 (c.Lion_store.Config.wan_latency
+                 /. Float.max 1.0 c.Lion_store.Config.net_latency));
+        }
+    else None
+  in
   let cost =
-    Costmodel.make ~w_r:cfg.w_r ~w_m:cfg.w_m ~freq:(Cluster.normalized_freq cl) ()
+    Costmodel.make ~w_r:cfg.w_r ~w_m:cfg.w_m ?wan
+      ~freq:(Cluster.normalized_freq cl) ()
   in
   {
     cl;

@@ -1004,6 +1004,11 @@ let registry =
     ( "elastic_scale",
       "Membership: forecast-driven autoscale over a diurnal cycle",
       fun s -> elastic_scale ~scale:s () );
+    ( "geo",
+      "Geo: cross-region ratio sweep and WAN partition (docs/GEO.md)",
+      fun s ->
+        Geo.print_sweep ~regions:2 (Geo.sweep ~scale:s ());
+        Geo.print_partition ~scale:s (Geo.wan_partition ~scale:s ()) );
   ]
 
 let run_all ?(scale = 1.0) () =

@@ -117,6 +117,39 @@ let network_storm () =
   Engine.run_all e ();
   (Engine.events_processed e, 0)
 
+(* ---- geo network ------------------------------------------------- *)
+
+(* The relay ring again, with a 4-region topology and metrics installed
+   and a stride that crosses a region boundary on most hops: every send
+   takes the region-classification branch, pays the WAN latency model
+   and bumps the wan/lan byte counters. Gated against baseline like the
+   region-free storm, bounding what the geo branch may allocate on the
+   per-message path. *)
+let geo_network () =
+  let e = Engine.create () in
+  let m = Metrics.create e in
+  let topology =
+    {
+      Network.regions = 4;
+      region_of = Array.init storm_nodes (fun n -> n * 4 / storm_nodes);
+      wan_latency = 50_000.0;
+      wan_per_byte = 0.05;
+    }
+  in
+  let net = Network.create ~topology ~metrics:m e in
+  let sent = ref 0 in
+  let rec relay src =
+    if !sent < storm_msgs then (
+      incr sent;
+      let dst = (src + 17) mod storm_nodes in
+      Network.send net ~src ~dst ~bytes:128 (fun () -> relay dst))
+  in
+  for i = 0 to storm_nodes - 1 do
+    relay (i * 7 mod storm_nodes)
+  done;
+  Engine.run_all e ();
+  (Engine.events_processed e, 0)
+
 (* ---- metrics record ---------------------------------------------- *)
 
 (* The per-commit accounting path: latency reservoir, phase breakdown,
@@ -193,6 +226,14 @@ let all : Scenario.spec list =
         Printf.sprintf "%d-hop relay ring over %d nodes (pooled send path)"
           storm_msgs storm_nodes;
       run = network_storm;
+    };
+    {
+      name = "geo_network";
+      descr =
+        Printf.sprintf
+          "%d-hop relay ring over %d nodes in 4 regions (WAN-classified send path)"
+          storm_msgs storm_nodes;
+      run = geo_network;
     };
     {
       name = "metrics_record";

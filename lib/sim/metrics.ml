@@ -47,6 +47,14 @@ type t = {
   mutable replica_purges : int;
   mutable remaster_begins : int;
   mutable remasters_inflight : int;
+  (* Region-link accounting, bumped by [Network.send] only when a
+     region topology is installed: every message is either intra-region
+     (LAN) or cross-region (WAN). Region-free runs leave all four at
+     0. *)
+  mutable wan_msgs : int;
+  mutable wan_bytes : int;
+  mutable lan_msgs : int;
+  mutable lan_bytes : int;
   (* Code-path beacons: named control-flow waypoints (elections,
      purges, cancelled remasters, anti-entropy rounds …) recorded as
      bare counters. Pure bookkeeping — no engine events, no RNG — so
@@ -83,6 +91,10 @@ let create ?(seed = 42) engine =
     replica_purges = 0;
     remaster_begins = 0;
     remasters_inflight = 0;
+    wan_msgs = 0;
+    wan_bytes = 0;
+    lan_msgs = 0;
+    lan_bytes = 0;
     beacons = Hashtbl.create 32;
     avail_series = Timeseries.create ~interval:(Engine.seconds 1.0);
   }
@@ -132,6 +144,14 @@ let record_remaster_begin t =
 
 let record_remaster_end t = t.remasters_inflight <- t.remasters_inflight - 1
 
+let record_link_msg t ~cross ~bytes =
+  if cross then (
+    t.wan_msgs <- t.wan_msgs + 1;
+    t.wan_bytes <- t.wan_bytes + bytes)
+  else (
+    t.lan_msgs <- t.lan_msgs + 1;
+    t.lan_bytes <- t.lan_bytes + bytes)
+
 let beacon t name =
   match Hashtbl.find_opt t.beacons name with
   | Some n -> Hashtbl.replace t.beacons name (n + 1)
@@ -154,6 +174,10 @@ let stale_ack_rejections t = t.stale_acks
 let replica_purges t = t.replica_purges
 let remaster_begins t = t.remaster_begins
 let remasters_inflight t = t.remasters_inflight
+let wan_messages t = t.wan_msgs
+let wan_bytes t = t.wan_bytes
+let lan_messages t = t.lan_msgs
+let lan_bytes t = t.lan_bytes
 
 (* Past-dated schedules the engine clamped to [now]: each one is a
    scheduling bug somewhere upstream (a negative delay, an absolute
@@ -210,6 +234,10 @@ let reset_window t =
   t.stale_acks <- 0;
   t.replica_purges <- 0;
   t.remaster_begins <- 0;
+  t.wan_msgs <- 0;
+  t.wan_bytes <- 0;
+  t.lan_msgs <- 0;
+  t.lan_bytes <- 0;
   (* The in-flight gauge is live state, not a window counter: a
      remaster spanning the window boundary still ends exactly once. *)
   Hashtbl.reset t.beacons;

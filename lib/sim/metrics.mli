@@ -94,6 +94,13 @@ val record_remaster_end : t -> unit
     one end; at quiescence the gauge must read 0, which the liveness
     auditor asserts (docs/FUZZING.md). *)
 
+val record_link_msg : t -> cross:bool -> bytes:int -> unit
+(** Classify one sent message by link class under a region topology:
+    [cross] marks a cross-region (WAN) hop, otherwise the hop is
+    intra-region (LAN). Only called by [Network.send] when a topology
+    is installed — region-free runs never touch these counters
+    (docs/GEO.md). *)
+
 val beacon : t -> string -> unit
 (** Light a named code-path beacon — a control-flow waypoint such as an
     election, a phantom purge or a cancelled remaster. Beacons are pure
@@ -118,6 +125,19 @@ val breaker_half_opens : t -> int
 val stale_ack_rejections : t -> int
 val replica_purges : t -> int
 val remaster_begins : t -> int
+
+val wan_messages : t -> int
+(** Cross-region messages sent since [create] / [reset_window]. *)
+
+val wan_bytes : t -> int
+(** Bytes carried by cross-region messages. *)
+
+val lan_messages : t -> int
+(** Intra-region messages sent under a region topology. Zero (like all
+    four link counters) when the run is region-free. *)
+
+val lan_bytes : t -> int
+(** Bytes carried by intra-region messages. *)
 
 val remasters_inflight : t -> int
 (** Leader transfers currently in flight (begins minus ends). Unlike

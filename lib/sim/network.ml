@@ -15,10 +15,22 @@ type msg = {
 let nop () = ()
 let rec nil_msg = { dst = -1; k = nop; on_drop = nop; next = nil_msg }
 
+(* Region topology: a static node → region map plus the WAN link
+   class. Links inside one region keep the LAN [latency]/[per_byte];
+   links whose endpoints map to different regions pay the (much
+   larger) WAN figures instead. *)
+type topology = {
+  regions : int;
+  region_of : int array;
+  wan_latency : float;
+  wan_per_byte : float;
+}
+
 type t = {
   engine : Engine.t;
   latency : float;
   per_byte : float;
+  topology : topology option;
   mutable total_bytes : int;
   mutable messages : int;
   mutable drops : int;
@@ -64,12 +76,14 @@ let deliver_msg t m =
       on_drop ()
   | _ -> k ()
 
-let create ?(latency = 60.0) ?(per_byte = 0.0085) ?fault ?metrics engine =
+let create ?(latency = 60.0) ?(per_byte = 0.0085) ?topology ?fault ?metrics
+    engine =
   let t =
     {
       engine;
       latency;
       per_byte;
+      topology;
       total_bytes = 0;
       messages = 0;
       drops = 0;
@@ -85,8 +99,35 @@ let create ?(latency = 60.0) ?(per_byte = 0.0085) ?fault ?metrics engine =
 
 let engine t = t.engine
 let fault t = t.fault
+let topology t = t.topology
+let regions t = match t.topology with None -> 1 | Some g -> g.regions
+let region_of t node = match t.topology with None -> 0 | Some g -> g.region_of.(node)
+
+let cross_region t ~src ~dst =
+  match t.topology with
+  | None -> false
+  | Some g -> g.region_of.(src) <> g.region_of.(dst)
+
 let oneway_delay t ~bytes = t.latency +. (float_of_int bytes *. t.per_byte)
+
+let wan_oneway_delay t ~bytes =
+  match t.topology with
+  | None -> oneway_delay t ~bytes
+  | Some g -> g.wan_latency +. (float_of_int bytes *. g.wan_per_byte)
+
+(* The per-link delay: LAN figures inside a region, WAN figures
+   across. Region-free networks evaluate exactly the historical
+   [oneway_delay] expression, keeping the default path byte-identical. *)
+let link_delay t ~src ~dst ~bytes =
+  match t.topology with
+  | None -> oneway_delay t ~bytes
+  | Some g ->
+      if g.region_of.(src) <> g.region_of.(dst) then
+        g.wan_latency +. (float_of_int bytes *. g.wan_per_byte)
+      else oneway_delay t ~bytes
+
 let roundtrip t ~bytes = 2.0 *. oneway_delay t ~bytes
+let link_roundtrip t ~src ~dst ~bytes = 2.0 *. link_delay t ~src ~dst ~bytes
 
 (* Single accounting path: every non-local message — delivered or killed
    by the fault layer — charges its bytes here, so [bytes_series] stays
@@ -104,15 +145,32 @@ let send t ~src ~dst ~bytes ?(on_drop = nop) ?ctx k =
   if src = dst then Engine.schedule t.engine ~delay:0.0 k
   else (
     account t ~bytes;
+    (* Link classification happens only under a topology: the
+       region-free path skips the metrics call and evaluates the exact
+       historical delay expression (bit-for-bit identical runs). *)
+    let cross =
+      match t.topology with
+      | None -> false
+      | Some g ->
+          let cross = g.region_of.(src) <> g.region_of.(dst) in
+          (match t.metrics with
+          | Some m -> Metrics.record_link_msg m ~cross ~bytes
+          | None -> ());
+          cross
+    in
     (* Tracing wraps the continuations only for sampled transactions:
        the [None] path (tracing disabled or txn unsampled) allocates
-       nothing and schedules no extra events. *)
+       nothing and schedules no extra events. Cross-region hops get the
+       distinct "wan" span phase so critical-path reports and Perfetto
+       exports show WAN time; intra-region hops inherit the parent
+       phase as before. *)
     let k, on_drop =
       match ctx with
       | None -> (k, on_drop)
       | Some _ ->
           let mctx =
             Trace.child ~node:dst
+              ?phase:(if cross then Some "wan" else None)
               ~name:(Printf.sprintf "msg %d->%d" src dst)
               ~ts:(Engine.now t.engine) ctx
           in
@@ -126,7 +184,7 @@ let send t ~src ~dst ~bytes ?(on_drop = nop) ?ctx k =
               on_drop () )
     in
     match t.fault with
-    | None -> Engine.schedule t.engine ~delay:(oneway_delay t ~bytes) k
+    | None -> Engine.schedule t.engine ~delay:(link_delay t ~src ~dst ~bytes) k
     | Some f -> (
         match Fault.link f ~now:(Engine.now t.engine) ~src ~dst with
         | Fault.Blocked | Fault.Dropped ->
@@ -136,7 +194,7 @@ let send t ~src ~dst ~bytes ?(on_drop = nop) ?ctx k =
             on_drop ()
         | Fault.Deliver extra ->
             Engine.schedule_apply t.engine
-              ~delay:(oneway_delay t ~bytes +. extra)
+              ~delay:(link_delay t ~src ~dst ~bytes +. extra)
               t.deliver
               (alloc_msg t ~dst ~k ~on_drop)))
 

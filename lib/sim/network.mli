@@ -9,14 +9,29 @@
 
 type t
 
+type topology = {
+  regions : int;  (** number of regions, ≥ 2 to be meaningful *)
+  region_of : int array;  (** node id → region id, one entry per node *)
+  wan_latency : float;  (** cross-region one-way µs *)
+  wan_per_byte : float;  (** cross-region µs/byte *)
+}
+(** Region topology (docs/GEO.md): a static node → region map plus the
+    WAN link class. Links between nodes of the same region keep the
+    LAN [latency]/[per_byte]; links crossing regions pay [wan_latency]
+    / [wan_per_byte] instead, and are counted separately in
+    {!Metrics.wan_messages} / {!Metrics.wan_bytes}. *)
+
 val create :
-  ?latency:float -> ?per_byte:float -> ?fault:Fault.t -> ?metrics:Metrics.t ->
-  Engine.t -> t
+  ?latency:float -> ?per_byte:float -> ?topology:topology -> ?fault:Fault.t ->
+  ?metrics:Metrics.t -> Engine.t -> t
 (** [latency] one-way µs (default 60.), [per_byte] µs/byte
     (default 0.0085). When [fault] is given, every non-local send
     consults it for partitions, probabilistic drop, latency jitter and
     dead-endpoint loss; when [metrics] is given, fault-layer drops are
-    also counted there. *)
+    also counted there. When [topology] is given, links crossing
+    regions pay the WAN latency class and are accounted per link class
+    in [metrics]; omitting it (the default) keeps the historical
+    single-latency-class network bit-for-bit. *)
 
 val engine : t -> Engine.t
 
@@ -48,10 +63,35 @@ val charge : t -> bytes:int -> unit
     queue. *)
 
 val oneway_delay : t -> bytes:int -> float
-(** The modelled one-way delay for a remote message of [bytes]. *)
+(** The modelled one-way LAN delay for a remote message of [bytes]. *)
+
+val wan_oneway_delay : t -> bytes:int -> float
+(** The modelled one-way delay over a cross-region link. Equals
+    [oneway_delay] when no topology is installed. *)
+
+val link_delay : t -> src:int -> dst:int -> bytes:int -> float
+(** The delay a [send] between these endpoints would experience:
+    [wan_oneway_delay] when they are in different regions,
+    [oneway_delay] otherwise (and always, region-free). *)
 
 val roundtrip : t -> bytes:int -> float
 (** Two one-way delays (request and reply of equal size). *)
+
+val link_roundtrip : t -> src:int -> dst:int -> bytes:int -> float
+(** Two [link_delay]s (request and reply of equal size). *)
+
+val topology : t -> topology option
+
+val regions : t -> int
+(** Number of regions; 1 when no topology is installed. *)
+
+val region_of : t -> int -> int
+(** Region of a node; 0 for every node when no topology is
+    installed. *)
+
+val cross_region : t -> src:int -> dst:int -> bool
+(** Whether a [send] between these endpoints crosses a region
+    boundary; always false region-free. *)
 
 val total_bytes : t -> int
 (** All bytes ever sent on non-local links. *)

@@ -196,8 +196,6 @@ let try_begin_remaster t ~part ~node =
     t.remaster_started_at.(part) <- started;
     let gen = t.remaster_gen.(part) in
     let session = session_for t ~part ~dst:node in
-    let delay = t.cfg.Config.remaster_delay in
-    block_partition t part (now t +. delay);
     (* Lagging-log synchronisation: ship the records the secondary has
        not yet acknowledged (§III), not the whole partition. If the
        fault layer kills the transfer (the target is partitioned away
@@ -207,6 +205,18 @@ let try_begin_remaster t ~part ~node =
     let lag_bytes =
       Stdlib.max 256 (Replication.lag t.replication ~part * t.cfg.Config.record_bytes)
     in
+    (* The WAN latency cliff (docs/GEO.md): a leader transfer whose lag
+       ship crosses a region boundary cannot complete before the ship
+       lands, so the handover blocks for at least the cross-region link
+       delay. Intra-region (and every region-free) transfer keeps the
+       calibrated LAN figure. *)
+    let delay =
+      if Network.cross_region t.network ~src ~dst:node then
+        Stdlib.max t.cfg.Config.remaster_delay
+          (Network.link_delay t.network ~src ~dst:node ~bytes:lag_bytes)
+      else t.cfg.Config.remaster_delay
+    in
+    block_partition t part (now t +. delay);
     let transfer_lost = ref false in
     Network.send t.network ~src ~dst:node ~bytes:lag_bytes
       ~on_drop:(fun () -> transfer_lost := true)
@@ -264,12 +274,44 @@ let remaster_sync t ~part ~node =
   if not (Placement.has_primary t.placement ~part ~node) then
     ignore (try_begin_remaster t ~part ~node)
 
+(* Geo helpers (docs/GEO.md): both read pure config, no state. The
+   spread constraint is active only when a topology exists AND
+   [min_regions] asks for one — every other configuration keeps the
+   historical decisions bit for bit. *)
+let region_of t n = Config.region_of_node t.cfg n
+
+let geo_spread_on t =
+  t.cfg.Config.regions >= 2 && t.cfg.Config.min_regions >= 2
+
 (* Evict the coldest secondary: every secondary serves no reads in this
    model, so "coldest" is decided by hosting-node pressure — shed from
    the node hosting the most replicas, deterministically. *)
 let evict_one_secondary t ~part ~keep =
   let secs = Placement.secondaries t.placement part in
   let candidates = List.filter (fun n -> n <> keep) secs in
+  (* Under the spread constraint, never evict the last replica of a
+     region when that would drop the partition below [min_regions] —
+     unless every candidate would (then fall through unchanged). *)
+  let candidates =
+    if geo_spread_on t then (
+      let prim = Placement.primary t.placement part in
+      let spanned_without v =
+        let rs =
+          region_of t prim
+          :: List.filter_map
+               (fun s -> if s = v then None else Some (region_of t s))
+               secs
+        in
+        List.length (List.sort_uniq compare rs)
+      in
+      let safe =
+        List.filter
+          (fun n -> spanned_without n >= t.cfg.Config.min_regions)
+          candidates
+      in
+      if safe = [] then candidates else safe)
+    else candidates
+  in
   match candidates with
   | [] -> ()
   | _ ->
@@ -289,6 +331,28 @@ let evict_one_secondary t ~part ~keep =
           Placement.remove_secondary t.placement ~part ~node:n;
           Replication.forget_applied t.replication ~part ~node:n)
         victim
+
+(* Region spread of [part] after dropping [without]'s copy and, when
+   [plus] is given, adding one there instead. Callers gate on
+   [geo_spread_on]. *)
+let spanned_without_plus t ~part ~without ~plus =
+  let prim = Placement.primary t.placement part in
+  let rs =
+    region_of t prim
+    :: List.filter_map
+         (fun s -> if s = without then None else Some (region_of t s))
+         (Placement.secondaries t.placement part)
+  in
+  let rs = match plus with None -> rs | Some d -> region_of t d :: rs in
+  List.length (List.sort_uniq compare rs)
+
+(* Would dropping [node]'s copy of [part] (replaced by one on [dst]
+   when given) keep the partition at [min_regions]? Vacuously yes
+   without the spread constraint. *)
+let removal_keeps_spread t ~part ~node ?dst () =
+  (not (geo_spread_on t))
+  || spanned_without_plus t ~part ~without:node ~plus:dst
+     >= t.cfg.Config.min_regions
 
 (* A copy source for [part]: the primary if it is live, else a live
    secondary. [None] when every replica sits on a dead node — the data
@@ -403,19 +467,42 @@ let eligible_targets t =
     (List.init (Placement.nodes t.placement) Fun.id)
 
 (* Least-loaded eligible node not yet holding [part]; first-lowest id on
-   ties, so rebalancing stays deterministic. *)
+   ties, so rebalancing stays deterministic. Under the region-spread
+   constraint, targets in a region with no replica of [part] are
+   preferred — installs then restore (or widen) the spread — with the
+   unconstrained choice as fallback. *)
 let best_install_target t ~part =
-  List.fold_left
-    (fun best n ->
-      if Placement.has_replica t.placement ~part ~node:n then best
-      else
-        match best with
-        | None -> Some n
-        | Some b ->
-            if Placement.replicas_on t.placement n < Placement.replicas_on t.placement b
-            then Some n
-            else best)
-    None (eligible_targets t)
+  let least_loaded pred =
+    List.fold_left
+      (fun best n ->
+        if Placement.has_replica t.placement ~part ~node:n || not (pred n) then
+          best
+        else
+          match best with
+          | None -> Some n
+          | Some b ->
+              if
+                Placement.replicas_on t.placement n
+                < Placement.replicas_on t.placement b
+              then Some n
+              else best)
+      None (eligible_targets t)
+  in
+  if geo_spread_on t then (
+    let prim = Placement.primary t.placement part in
+    (* A draining node's copies don't count as coverage: they are on
+       their way out, and the install being placed here may be the one
+       replacing them. *)
+    let covered r =
+      (region_of t prim = r && not t.draining.(prim))
+      || List.exists
+           (fun s -> (not t.draining.(s)) && region_of t s = r)
+           (Placement.secondaries t.placement part)
+    in
+    match least_loaded (fun n -> not (covered (region_of t n))) with
+    | Some n -> Some n
+    | None -> least_loaded (fun _ -> true))
+  else least_loaded (fun _ -> true)
 
 let live_replica_holders t part =
   let prim = Placement.primary t.placement part in
@@ -434,7 +521,7 @@ let rec rebalance_tick t =
       else if t.draining.(n) && drain_node_step t n then true
       else drain (n + 1)
     in
-    drain 0 || repair_step t || balance_step t
+    drain 0 || repair_step t || spread_step t || balance_step t
   in
   if stepped || Hashtbl.length t.move_inflight > 0 then
     Engine.schedule t.engine ~delay:(rebalance_period t) (fun () -> rebalance_tick t)
@@ -522,7 +609,10 @@ and drain_node_step t node =
           let others =
             List.filter (fun n -> n <> node) (live_replica_holders t part)
           in
-          if List.length others >= t.cfg.Config.replicas then begin
+          if
+            List.length others >= t.cfg.Config.replicas
+            && removal_keeps_spread t ~part ~node ()
+          then begin
             (* The factor holds without this copy: drop it now. *)
             remove_replica t ~part ~node;
             true
@@ -571,11 +661,72 @@ and repair_step t =
                our own copy again if it turned out redundant. *)
             start_move t ~part:p ~dst ~after:(fun () ->
                 if List.length (live_replica_holders t p) > t.cfg.Config.replicas
-                then remove_replica t ~part:p ~node:dst)
+                then
+                  if removal_keeps_spread t ~part:p ~node:dst () then
+                    remove_replica t ~part:p ~node:dst
+                  else evict_one_secondary t ~part:p ~keep:dst)
         | _ -> go (p + 1)
       else go (p + 1)
   in
   go 0
+
+(* Restore [min_regions] coverage that a failover remaster or a
+   recovery purge consumed (docs/GEO.md): install a copy in an
+   uncovered region, then trim the redundant copy from an over-covered
+   one. Every other rebalance move is spread-preserving, so each repair
+   here is final and the scan terminates; a partition whose uncovered
+   regions have no eligible member is skipped — the next membership
+   event re-kicks the rebalancer and retries. *)
+and spread_step t =
+  if (not (geo_spread_on t)) || Hashtbl.length t.move_inflight > 0 then false
+  else
+    let min_r = t.cfg.Config.min_regions in
+    let parts = Placement.partitions t.placement in
+    let rec go p =
+      if p >= parts then false
+      else if
+        Placement.regions_spanned t.placement ~region_of:(region_of t) ~part:p
+        >= min_r
+      then go (p + 1)
+      else
+        let covered r =
+          let prim = Placement.primary t.placement p in
+          region_of t prim = r
+          || List.exists
+               (fun s -> region_of t s = r)
+               (Placement.secondaries t.placement p)
+        in
+        let target =
+          List.fold_left
+            (fun best n ->
+              if
+                Placement.has_replica t.placement ~part:p ~node:n
+                || covered (region_of t n)
+              then best
+              else
+                match best with
+                | None -> Some n
+                | Some b ->
+                    if
+                      Placement.replicas_on t.placement n
+                      < Placement.replicas_on t.placement b
+                    then Some n
+                    else best)
+            None (eligible_targets t)
+        in
+        match target with
+        | Some dst ->
+            if
+              start_move t ~part:p ~dst ~after:(fun () ->
+                  if
+                    List.length (live_replica_holders t p)
+                    > t.cfg.Config.replicas
+                  then evict_one_secondary t ~part:p ~keep:dst)
+            then true
+            else go (p + 1)
+        | None -> go (p + 1)
+    in
+    go 0
 
 (* Even out replica counts across eligible nodes — the catch-up path
    that populates a freshly joined node, one bounded step at a time.
@@ -604,7 +755,8 @@ and balance_step t =
           else if
             Placement.has_secondary t.placement ~part:p ~node:hi
             && (not (Placement.has_replica t.placement ~part:p ~node:lo))
-            && not (Hashtbl.mem t.move_inflight (p, lo))
+            && (not (Hashtbl.mem t.move_inflight (p, lo)))
+            && removal_keeps_spread t ~part:p ~node:hi ~dst:lo ()
           then
             start_move t ~part:p ~dst:lo ~after:(fun () ->
                 remove_replica t ~part:p ~node:hi)
@@ -640,10 +792,24 @@ let decommission_node t node =
       (fun n -> n <> node && plan_target_ok t n)
       (List.init (Placement.nodes t.placement) Fun.id)
   in
+  (* Under the spread constraint, the last member of a region cannot
+     leave: [min_regions] would become unsatisfiable for every
+     partition (docs/GEO.md). *)
+  let region_has_other_member =
+    (not (geo_spread_on t))
+    || List.exists
+         (fun n ->
+           n <> node
+           && t.member.(n)
+           && (not t.draining.(n))
+           && region_of t n = region_of t node)
+         (List.init (Placement.nodes t.placement) Fun.id)
+  in
   if
     (not t.member.(node))
     || t.draining.(node)
     || List.length others < t.cfg.Config.replicas
+    || not region_has_other_member
   then false
   else begin
     Log.info (fun m -> m "node %d draining at t=%.0fus" node (now t));
@@ -1122,11 +1288,38 @@ let create ?(seed = 1) ?tracer ?history cfg =
      standby slots ([Config.default]) this equals [cfg.nodes]. *)
   let slots = Config.total_slots cfg in
   let fault = Fault.create ~seed ~nodes:slots cfg.Config.fault_plan in
+  (* A region topology exists only when asked for; [None] (the default)
+     leaves the network on the historical single-latency-class path,
+     bit for bit (docs/GEO.md). *)
+  let topology =
+    if cfg.Config.regions >= 2 then
+      Some
+        {
+          Network.regions = cfg.Config.regions;
+          region_of = Array.init slots (Config.region_of_node cfg);
+          wan_latency = cfg.Config.wan_latency;
+          wan_per_byte = cfg.Config.wan_per_byte;
+        }
+    else None
+  in
   let network =
     Network.create ~latency:cfg.Config.net_latency ~per_byte:cfg.Config.net_per_byte
-      ~fault ~metrics engine
+      ?topology ~fault ~metrics engine
   in
   let parts = Config.total_partitions cfg in
+  let placement =
+    Placement.create ~standby:cfg.Config.standby_nodes ~nodes:cfg.Config.nodes
+      ~partitions:parts ~replicas:cfg.Config.replicas
+      ~max_replicas:cfg.Config.max_replicas ()
+  in
+  (* Region-spread constraint: repair the round-robin seed layout so
+     every partition spans [min_regions] regions before any replication
+     state is seeded. Standby slots are not eligible targets. *)
+  if cfg.Config.regions >= 2 && cfg.Config.min_regions >= 2 then
+    Placement.spread_regions placement
+      ~region_of:(Config.region_of_node cfg)
+      ~eligible:(fun n -> n < cfg.Config.nodes)
+      ~min_regions:cfg.Config.min_regions;
   let t =
     {
       cfg;
@@ -1134,10 +1327,7 @@ let create ?(seed = 1) ?tracer ?history cfg =
       network;
       metrics;
       fault;
-      placement =
-        Placement.create ~standby:cfg.Config.standby_nodes ~nodes:cfg.Config.nodes
-          ~partitions:parts ~replicas:cfg.Config.replicas
-          ~max_replicas:cfg.Config.max_replicas ();
+      placement;
       store = Kvstore.create ();
       replication =
         Replication.create ~interval:cfg.Config.group_commit_interval ~partitions:parts

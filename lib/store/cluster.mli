@@ -113,6 +113,10 @@ val member_count : t -> int
 
 val partition_count : t -> int
 
+val region_of : t -> int -> int
+(** Region of a node slot ([Config.region_of_node]); 0 for every node
+    while the cluster is region-free (docs/GEO.md). *)
+
 val touch_partition : t -> int -> unit
 (** Bump the access counter used for f(v, n) in the cost model. *)
 

@@ -37,6 +37,11 @@ type t = {
   rebalance_rate : float;
   session_tagging : bool;
   reintroduce_phantom_secondary : bool;
+  regions : int;
+  wan_latency : float;
+  wan_per_byte : float;
+  min_regions : int;
+  epoch_interval : float;
 }
 
 let default =
@@ -79,6 +84,11 @@ let default =
     rebalance_rate = 0.0;
     session_tagging = false;
     reintroduce_phantom_secondary = false;
+    regions = 0;
+    wan_latency = 50_000.0;
+    wan_per_byte = 0.05;
+    min_regions = 0;
+    epoch_interval = 20_000.0;
   }
 
 (* The graceful-degradation preset (docs/OVERLOAD.md): bounded queues
@@ -105,7 +115,24 @@ let with_overload_defaults t =
 let with_elastic_defaults t =
   { t with standby_nodes = 2; rebalance_rate = 50.0; session_tagging = true }
 
+(* Geo-replication preset (docs/GEO.md): two regions, every partition
+   forced to span at least two of them, and the WAN link class at its
+   documented starting point (50 ms one-way, ~160 Mbit/s). *)
+let with_geo_defaults t = { t with regions = 2; min_regions = 2 }
+
 let total_partitions t = t.nodes * t.partitions_per_node
 let total_workers t = t.nodes * t.workers_per_node
 let total_slots t = t.nodes + t.standby_nodes
 let with_nodes t nodes = { t with nodes }
+
+(* Contiguous block layout: a region is a datacenter of consecutive
+   node ids (nodes 0..k-1 = region 0, ...). Deliberately NOT
+   round-robin — the seed placement puts partition [p]'s secondaries on
+   the nodes right after its primary, so a round-robin map would make
+   every partition span regions for free and [min_regions] would never
+   bite. *)
+let region_of_node t n =
+  if t.regions <= 1 then 0
+  else
+    let slots = total_slots t in
+    min (t.regions - 1) (n * t.regions / slots)

@@ -110,6 +110,28 @@ type t = {
           frozen copy. Exists purely as a known-bug target for the
           fault-schedule fuzzer (docs/FUZZING.md); false (default)
           keeps both purge sites active *)
+  regions : int;
+      (** number of geographic regions the node slots divide into
+          (contiguous blocks of node ids — see [region_of_node]).
+          0 (default) = region-free: the network has a single latency
+          class and every geo knob below is inert (docs/GEO.md) *)
+  wan_latency : float;
+      (** one-way µs for a message between nodes of different regions
+          (default 50 ms); irrelevant while [regions] < 2 *)
+  wan_per_byte : float;
+      (** µs per byte on a cross-region link (default 0.05 ≈
+          160 Mbit/s); irrelevant while [regions] < 2 *)
+  min_regions : int;
+      (** minimum distinct regions each partition's replica set
+          (primary + secondaries) must span. The placement is spread at
+          cluster creation and the rebalancer keeps the invariant when
+          installing or evicting secondaries. 0 (default) = no
+          constraint *)
+  epoch_interval : float;
+      (** epoch length, µs, for the epoch-based OCC protocol
+          ([Lion_protocols.Epoch]): optimistic execution parks until
+          the next boundary, where validation and one cross-region
+          replication round happen for the whole epoch *)
 }
 
 val default : t
@@ -137,3 +159,13 @@ val with_overload_defaults : t -> t
     priority, a 2000 tokens/s retry budget, breakers (threshold 8,
     cooldown 50 ms) and a 200 ms transaction deadline. See
     docs/OVERLOAD.md. *)
+
+val with_geo_defaults : t -> t
+(** Turn geo-replication on at its documented starting point: two
+    regions, [min_regions] = 2, and the default WAN link class (50 ms
+    one-way, 0.05 µs/byte). See docs/GEO.md. *)
+
+val region_of_node : t -> int -> int
+(** Region of a node slot under the contiguous block layout: the
+    [total_slots] ids divide into [regions] consecutive blocks (nodes
+    0..k-1 form region 0, and so on). Always 0 while [regions] < 2. *)

@@ -98,6 +98,77 @@ let best_local_node t parts =
      the tie-break explicit: keep lower id on equal primary counts. *)
   Option.map fst !best
 
+(* --- Region spread (docs/GEO.md) -------------------------------------
+   The placement itself stays region-unaware: callers hand in the node →
+   region map. [regions_spanned] is the invariant the qcheck property
+   asserts; [spread_regions] repairs the seed layout once at cluster
+   creation. *)
+
+let regions_spanned t ~region_of ~part =
+  let seen = ref [] in
+  let note n =
+    let r = region_of n in
+    if not (List.mem r !seen) then seen := r :: !seen
+  in
+  note t.primary.(part);
+  for n = 0 to t.nodes - 1 do
+    if t.secondary.(part).(n) then note n
+  done;
+  List.length !seen
+
+let num_regions t ~region_of =
+  let hi = ref 0 in
+  for n = 0 to t.nodes - 1 do
+    if region_of n > !hi then hi := region_of n
+  done;
+  !hi + 1
+
+(* Move one secondary of [part] into a region currently holding no
+   replica, if such a move exists: victim = the highest-id secondary in
+   a region that holds ≥ 2 replicas of [part]; target = the least-loaded
+   node (tie: lower id) of the first uncovered region. Returns whether a
+   move happened. [eligible] excludes dead/standby slots. *)
+let spread_one t ~region_of ~eligible ~part =
+  let nreg = num_regions t ~region_of in
+  let replicas_in_region r =
+    let c = ref (if region_of t.primary.(part) = r then 1 else 0) in
+    for n = 0 to t.nodes - 1 do
+      if t.secondary.(part).(n) && region_of n = r then incr c
+    done;
+    !c
+  in
+  let victim = ref (-1) in
+  for n = 0 to t.nodes - 1 do
+    if t.secondary.(part).(n) && replicas_in_region (region_of n) >= 2 then
+      victim := n
+  done;
+  let target = ref (-1) in
+  (for r = nreg - 1 downto 0 do
+     if replicas_in_region r = 0 then (
+       (* least-loaded eligible node of region [r], lower id on ties *)
+       let best = ref (-1) in
+       for n = t.nodes - 1 downto 0 do
+         if region_of n = r && eligible n && not (has_replica t ~part ~node:n)
+         then
+           if !best < 0 || replicas_on t n <= replicas_on t !best then best := n
+       done;
+       if !best >= 0 then target := !best)
+   done);
+  if !victim >= 0 && !target >= 0 then (
+    t.secondary.(part).(!victim) <- false;
+    t.secondary.(part).(!target) <- true;
+    true)
+  else false
+
+let spread_regions t ~region_of ~eligible ~min_regions =
+  for part = 0 to t.partitions - 1 do
+    let want = min min_regions (num_regions t ~region_of) in
+    let continue = ref true in
+    while !continue && regions_spanned t ~region_of ~part < want do
+      continue := spread_one t ~region_of ~eligible ~part
+    done
+  done
+
 let copy t =
   {
     t with

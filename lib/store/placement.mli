@@ -70,5 +70,24 @@ val best_local_node : t -> int list -> int option
     the one with the most primaries among them; [None] if no node covers
     all of them. Deterministic tie-break on the lower node id. *)
 
+val regions_spanned : t -> region_of:(int -> int) -> part:int -> int
+(** Distinct regions covered by [part]'s replica set (primary +
+    secondaries) under the caller's node → region map — the
+    [min_regions] invariant the geo tests assert (docs/GEO.md). *)
+
+val spread_regions :
+  t ->
+  region_of:(int -> int) ->
+  eligible:(int -> bool) ->
+  min_regions:int ->
+  unit
+(** Deterministically relocate secondaries so every partition spans at
+    least [min_regions] distinct regions (capped at the number of
+    regions that exist): for each under-spread partition, the
+    highest-id secondary in an over-represented region moves to the
+    least-loaded [eligible] node of an uncovered region. Run once at
+    cluster creation when [Config.min_regions] ≥ 2; the rebalancer
+    maintains the invariant afterwards. *)
+
 val copy : t -> t
 (** Deep copy, used by planners to evaluate candidate plans. *)
